@@ -1,0 +1,43 @@
+"""Figure 1: direct time extrapolation mispredicts kmeans.
+
+The baseline fits the Table-1 kernels to the execution times measured on one
+Opteron socket (12 cores) and extrapolates; because kmeans' collapse is not
+visible in those times, the baseline predicts continued scaling while the
+measured times degrade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import OPTERON_GRID, run_once
+from repro import TimeExtrapolation
+from repro.analysis import figure_series
+
+
+def bench_fig01_kmeans_time_extrapolation(benchmark, sweep_cache):
+    sweep = sweep_cache("opteron48", "kmeans", OPTERON_GRID)
+
+    def pipeline():
+        baseline = TimeExtrapolation().predict(sweep.restrict_to(12), target_cores=48)
+        return baseline
+
+    baseline = run_once(benchmark, pipeline)
+    cores = [c for c in OPTERON_GRID if c > 12]
+    print()
+    print(
+        figure_series(
+            "Figure 1: time extrapolation for kmeans (Opteron, measured on 12 cores)",
+            cores,
+            {
+                "measured": [sweep.time_at(c) for c in cores],
+                "time_extrapolation": [baseline.predicted_time_at(c) for c in cores],
+            },
+        )
+    )
+    actual_peak = int(sweep.cores[int(np.argmin(sweep.times))])
+    print(f"\nactual best core count   : {actual_peak}")
+    print(f"baseline predicted peak  : {baseline.predicted_peak_cores()}")
+    print("paper: the time extrapolation predicts kmeans keeps scaling to 48 cores; it does not.")
+    # The reproduced failure mode: the baseline misses the collapse.
+    assert baseline.predicted_peak_cores() > actual_peak

@@ -1,0 +1,36 @@
+"""Figure 2: stalled cycles per core and execution time are strongly correlated.
+
+The paper shows intruder and blackscholes on the full Opteron with a
+correlation of 1.00 between the two series.
+"""
+
+from __future__ import annotations
+
+from conftest import OPTERON_GRID, run_once
+from repro.analysis import figure_series, stalls_time_correlation
+
+
+def bench_fig02_stalls_time_correlation(benchmark, sweep_cache):
+    def pipeline():
+        return {
+            name: sweep_cache("opteron48", name, OPTERON_GRID)
+            for name in ("intruder", "blackscholes")
+        }
+
+    sweeps = run_once(benchmark, pipeline)
+    print()
+    for name, sweep in sweeps.items():
+        corr = stalls_time_correlation(sweep)
+        print(
+            figure_series(
+                f"Figure 2: {name} — stalled cycles/core vs execution time "
+                f"(correlation {corr:.2f}, paper reports 1.00)",
+                list(sweep.cores),
+                {
+                    "time_s": sweep.times,
+                    "stalls_per_core": sweep.stalls_per_core(),
+                },
+            )
+        )
+        print()
+        assert corr > 0.8

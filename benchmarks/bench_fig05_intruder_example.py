@@ -1,0 +1,85 @@
+"""Figure 5: the step-by-step intruder prediction example (Section 3.2).
+
+Measurements on one Opteron processor (12 cores), extrapolation to the full
+48-core machine: per-category extrapolations (5a-f), stalled cycles per core
+(5g), the scaling factor (5h) and the predicted vs measured execution time
+(5i).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import OPTERON_GRID, run_once
+from repro.analysis import figure_series
+
+
+def bench_fig05_intruder_step_by_step(benchmark, sweep_cache, prediction_cache):
+    sweep = sweep_cache("opteron48", "intruder", OPTERON_GRID)
+
+    def pipeline():
+        return prediction_cache(
+            "opteron48", "intruder", measurement_cores=12, target_cores=48
+        )
+
+    prediction = run_once(benchmark, pipeline)
+    cores = list(sweep.cores)
+    print()
+    # 5(a)-(f): one extrapolation per stall category.
+    for label, (name, result) in zip(
+        "abcdef", sorted(prediction.category_extrapolations.items())
+    ):
+        print(
+            figure_series(
+                f"Figure 5({label}): {name} (chosen kernel {result.kernel_name})",
+                cores,
+                {
+                    "measured": sweep.category_series(name),
+                    "extrapolated": result.predict(np.asarray(cores, dtype=float)),
+                },
+                unit="cycles",
+            )
+        )
+        print()
+
+    # 5(g): total stalled cycles per core.
+    print(
+        figure_series(
+            "Figure 5(g): stalled cycles per core",
+            cores,
+            {
+                "measured": sweep.stalls_per_core(),
+                "extrapolated": [prediction.stalls_per_core_at(c) for c in cores],
+            },
+            unit="cycles/core",
+        )
+    )
+    print()
+    # 5(h): the scaling factor.
+    factor = prediction.scaling_factor
+    print(
+        figure_series(
+            f"Figure 5(h): scaling factor (kernel {factor.kernel_name}, "
+            f"correlation {factor.correlation:.2f})",
+            cores,
+            {"factor": factor.factor(np.asarray(cores, dtype=float))},
+            unit="s per stalled cycle/core",
+        )
+    )
+    print()
+    # 5(i): predicted vs measured execution time.
+    print(
+        figure_series(
+            "Figure 5(i): intruder execution time",
+            cores,
+            {
+                "measured": sweep.times,
+                "predicted": [prediction.predicted_time_at(c) for c in cores],
+            },
+        )
+    )
+    error = prediction.evaluate(sweep)
+    actual_peak = int(sweep.cores[int(np.argmin(sweep.times))])
+    print(f"\npredicted peak {prediction.predicted_peak_cores()} cores, actual peak {actual_peak}")
+    print(f"max error {error.max_error_pct:.1f}% (paper Table 4: 9.2-31.9% on Opteron)")
+    assert 12 < prediction.predicted_peak_cores() < 48

@@ -1,0 +1,45 @@
+"""Figure 8: ESTIMA predictions for raytrace, intruder, yada and kmeans on the
+Opteron (measurements on one processor, predictions for the full machine).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import OPTERON_GRID, run_once
+from repro.analysis import figure_series
+
+WORKLOADS = ("raytrace", "intruder", "yada", "kmeans")
+
+
+def bench_fig08_predictions(benchmark, sweep_cache, prediction_cache):
+    def pipeline():
+        return {
+            name: prediction_cache("opteron48", name, measurement_cores=12, target_cores=48)
+            for name in WORKLOADS
+        }
+
+    predictions = run_once(benchmark, pipeline)
+    print()
+    for label, name in zip("abcd", WORKLOADS):
+        sweep = sweep_cache("opteron48", name, OPTERON_GRID)
+        prediction = predictions[name]
+        cores = list(sweep.cores)
+        error = prediction.evaluate(sweep)
+        print(
+            figure_series(
+                f"Figure 8({label}): {name} — max error {error.max_error_pct:.1f}%",
+                cores,
+                {
+                    "measured": sweep.times,
+                    "predicted": [prediction.predicted_time_at(c) for c in cores],
+                },
+            )
+        )
+        actual_peak = int(sweep.cores[int(np.argmin(sweep.times))])
+        print(f"predicted peak {prediction.predicted_peak_cores()}, actual peak {actual_peak}\n")
+
+    # raytrace keeps scaling; intruder and kmeans do not — and ESTIMA says so.
+    assert predictions["raytrace"].predicted_peak_cores() >= 40
+    assert predictions["intruder"].predicted_peak_cores() < 40
+    assert predictions["kmeans"].predicted_peak_cores() < 40

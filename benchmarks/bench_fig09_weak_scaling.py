@@ -1,0 +1,54 @@
+"""Figure 9: weak scaling — predict for twice the cores AND twice the dataset.
+
+genome and intruder measured on one Xeon20 socket (10 cores, default dataset),
+predicted for the full machine running a 2x dataset, validated against
+simulated runs of the bigger dataset.  Paper: maximum errors of 29% (genome)
+and 28% (intruder), excluding the single-core point.
+"""
+
+from __future__ import annotations
+
+from conftest import XEON20_GRID, run_once
+from repro import EstimaConfig, EstimaPredictor, MachineSimulator
+from repro.analysis import figure_series
+from repro.machine import get_machine
+from repro.workloads import get_workload
+
+WORKLOADS = ("genome", "intruder")
+
+
+def bench_fig09_weak_scaling(benchmark):
+    machine = get_machine("xeon20")
+    simulator = MachineSimulator(machine)
+
+    def pipeline():
+        results = {}
+        for name in WORKLOADS:
+            workload = get_workload(name)
+            measured = simulator.sweep(
+                workload, core_counts=[c for c in XEON20_GRID if c <= 10]
+            )
+            truth_2x = simulator.sweep(workload, core_counts=XEON20_GRID, dataset_scale=2.0)
+            config = EstimaConfig.for_weak_scaling(dataset_ratio=2.0)
+            prediction = EstimaPredictor(config).predict(measured, target_cores=20)
+            results[name] = (prediction, truth_2x)
+        return results
+
+    results = run_once(benchmark, pipeline)
+    print()
+    for name, (prediction, truth) in results.items():
+        cores = [int(c) for c in truth.cores if c >= 2]
+        errors = prediction.evaluate(truth, core_counts=cores)
+        print(
+            figure_series(
+                f"Figure 9: {name}, 10 cores/1x data -> 20 cores/2x data — "
+                f"max error {errors.max_error_pct:.1f}% (paper: ~28-29%)",
+                cores,
+                {
+                    "measured_2x": [truth.time_at(c) for c in cores],
+                    "predicted": [prediction.predicted_time_at(c) for c in cores],
+                },
+            )
+        )
+        print()
+        assert errors.max_error_pct < 80.0

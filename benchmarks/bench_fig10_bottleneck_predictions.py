@@ -1,0 +1,53 @@
+"""Figure 10: predictions for streamcluster and intruder with software stalls.
+
+Both applications are extrapolated from one Opteron processor to the full
+machine with hardware AND software stalls collected (the pthread wrapper for
+streamcluster, SwissTM abort statistics for intruder); both exhibit slowdown
+at high core counts, which the predictions capture.  The dominant extrapolated
+categories are the starting point of the Section 4.6 bottleneck hunt.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import OPTERON_GRID, run_once
+from repro.analysis import BottleneckReport, figure_series
+
+WORKLOADS = ("streamcluster", "intruder")
+
+
+def bench_fig10_bottleneck_predictions(benchmark, sweep_cache, prediction_cache):
+    def pipeline():
+        return {
+            name: prediction_cache("opteron48", name, measurement_cores=12, target_cores=48)
+            for name in WORKLOADS
+        }
+
+    predictions = run_once(benchmark, pipeline)
+    print()
+    for name in WORKLOADS:
+        sweep = sweep_cache("opteron48", name, OPTERON_GRID)
+        prediction = predictions[name]
+        cores = list(sweep.cores)
+        print(
+            figure_series(
+                f"Figure 10: {name} prediction with software stalls",
+                cores,
+                {
+                    "measured": sweep.times,
+                    "predicted": [prediction.predicted_time_at(c) for c in cores],
+                },
+            )
+        )
+        report = BottleneckReport.from_prediction(prediction)
+        print(report.format_report(top=3))
+        print()
+
+    # The reported bottlenecks match the paper's findings.
+    streamcluster_top = [g.category for g in
+                         BottleneckReport.from_prediction(predictions["streamcluster"]).dominant(4)]
+    intruder_top = [g.category for g in
+                    BottleneckReport.from_prediction(predictions["intruder"]).dominant(4)]
+    assert any("barrier" in c or "lock" in c for c in streamcluster_top)
+    assert "stm_aborted_tx_cycles" in intruder_top

@@ -1,0 +1,51 @@
+"""Figure 16: capturing NUMA effects in the measurements improves predictions.
+
+On the two-socket Xeon20, single-socket (10-core) measurements contain no
+remote-access effects; including cores of the second socket (here 14 cores)
+captures them and improves the prediction for the full machine.
+"""
+
+from __future__ import annotations
+
+from conftest import XEON20_GRID, run_once
+from repro.analysis import figure_series
+
+WORKLOADS = ("canneal", "lock_based_sl")
+
+
+def bench_fig16_numa_aware_measurements(benchmark, sweep_cache, prediction_cache):
+    def pipeline():
+        results = {}
+        for name in WORKLOADS:
+            results[name] = {
+                window: prediction_cache(
+                    "xeon20", name, measurement_cores=window, target_cores=20,
+                    grid=XEON20_GRID,
+                )
+                for window in (10, 14)
+            }
+        return results
+
+    results = run_once(benchmark, pipeline)
+    print()
+    for name in WORKLOADS:
+        sweep = sweep_cache("xeon20", name, XEON20_GRID)
+        eval_cores = [c for c in XEON20_GRID if c > 14]
+        rows = {}
+        for window, prediction in results[name].items():
+            error = prediction.evaluate(sweep, core_counts=eval_cores)
+            rows[f"measured on {window} cores"] = [
+                prediction.predicted_time_at(c) for c in eval_cores
+            ]
+            print(
+                f"{name}: window {window} cores -> max error beyond 14 cores "
+                f"{error.max_error_pct:.1f}%"
+            )
+        print(
+            figure_series(
+                f"Figure 16: {name} on Xeon20 — single-socket vs NUMA-aware measurements",
+                eval_cores,
+                {"measured": [sweep.time_at(c) for c in eval_cores], **rows},
+            )
+        )
+        print()

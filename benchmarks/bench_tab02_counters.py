@@ -1,0 +1,38 @@
+"""Tables 2 and 3: the backend stall counters collected on AMD and Intel.
+
+This bench verifies that a simulated run on each vendor's machine populates
+exactly the events the paper lists, and reports their relative contribution
+(the reason ESTIMA keeps all of them: the dominant category varies per
+application, Section 5.2).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro import MachineSimulator
+from repro.machine import get_machine
+from repro.workloads import get_workload
+
+
+def bench_tab02_tab03_counter_catalogues(benchmark):
+    def pipeline():
+        results = {}
+        for machine_name in ("opteron48", "xeon20"):
+            machine = get_machine(machine_name)
+            sim = MachineSimulator(machine)
+            run = sim.run(get_workload("vacation_high"), threads=machine.threads_per_socket)
+            results[machine_name] = (machine, run)
+        return results
+
+    results = run_once(benchmark, pipeline)
+    print()
+    for machine_name, (machine, run) in results.items():
+        table = "Table 2 (AMD family 10h)" if machine.vendor == "amd" else "Table 3 (Intel)"
+        total = sum(run.hardware_stalls.values())
+        print(f"# {table} — backend stall events on {machine_name}, vacation-high, one socket")
+        print(f"{'code':<8s} {'event':<45s} {'share of stalls':>16s}")
+        for event in machine.counters.backend:
+            share = run.hardware_stalls.get(event.name, 0.0) / total * 100.0
+            print(f"{event.code:<8s} {event.description:<45s} {share:>15.1f}%")
+        print()
+        assert set(run.hardware_stalls) == set(machine.counters.backend_names())

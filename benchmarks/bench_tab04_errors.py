@@ -1,0 +1,63 @@
+"""Table 4: maximum prediction errors with measurements on one processor.
+
+Opteron: measure on 12 cores, predict for 2, 3 and 4 CPUs (24/36/48 cores).
+Xeon20: measure on 10 cores (one socket), predict for the full machine.
+
+By default a representative subset of the 19 workloads is used; set
+``REPRO_FULL=1`` to run all of them as the paper does.
+"""
+
+from __future__ import annotations
+
+from conftest import OPTERON_GRID, XEON20_GRID, campaign_workloads, run_once
+from repro.core import EstimaConfig
+from repro.machine import get_machine
+from repro.runner import ErrorCampaign
+
+
+def bench_tab04_opteron_errors(benchmark):
+    names = campaign_workloads()
+
+    def pipeline():
+        campaign = ErrorCampaign(
+            machine=get_machine("opteron48"),
+            measurement_cores=12,
+            targets={"2 CPUs": 24, "3 CPUs": 36, "4 CPUs": 48},
+            config=EstimaConfig(),
+            core_counts=OPTERON_GRID + [36],
+        )
+        return campaign.run(names)
+
+    result = run_once(benchmark, pipeline)
+    print()
+    print("# Table 4 (Opteron): maximum prediction errors (%), measurements on 12 cores")
+    print(result.format_table())
+    print(
+        f"\nworkloads below 25% error at 4 CPUs: {result.workloads_below('4 CPUs', 25.0)}"
+        f" of {len(result.rows)} (paper: 16 of 19)"
+    )
+    print(f"all scaling behaviours predicted correctly: {result.all_behaviours_correct()}")
+    assert result.all_behaviours_correct()
+
+
+def bench_tab04_xeon20_errors(benchmark):
+    names = campaign_workloads()
+
+    def pipeline():
+        campaign = ErrorCampaign(
+            machine=get_machine("xeon20"),
+            measurement_cores=10,
+            targets={"2 CPUs": 20},
+            config=EstimaConfig(),
+            core_counts=XEON20_GRID,
+        )
+        return campaign.run(names)
+
+    result = run_once(benchmark, pipeline)
+    print()
+    print("# Table 4 (Xeon20): maximum prediction errors (%), measurements on 10 cores")
+    print(result.format_table())
+    print(
+        f"\nworkloads below 25% error: {result.workloads_below('2 CPUs', 25.0)} of "
+        f"{len(result.rows)} (paper: 15 of 19)"
+    )

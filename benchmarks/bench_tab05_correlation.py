@@ -1,0 +1,50 @@
+"""Table 5: correlation of stalled cycles per core with execution time.
+
+Every workload is executed on the full Opteron, Xeon20 and Xeon48 machines and
+the Pearson correlation of stalled cycles per core with execution time is
+reported.  The paper's averages are 0.93-0.97 with a minimum of 0.62.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import OPTERON_GRID, XEON20_GRID, XEON48_GRID, campaign_workloads, run_once
+from repro.analysis import CorrelationStudy
+
+MACHINE_GRIDS = {
+    "opteron48": OPTERON_GRID,
+    "xeon20": XEON20_GRID,
+    "xeon48": XEON48_GRID,
+}
+
+
+def bench_tab05_stalls_time_correlation(benchmark, sweep_cache):
+    names = campaign_workloads()
+
+    def pipeline():
+        studies = {}
+        for machine_name, grid in MACHINE_GRIDS.items():
+            sweeps = [sweep_cache(machine_name, name, grid) for name in names]
+            studies[machine_name] = CorrelationStudy.from_measurements(sweeps)
+        return studies
+
+    studies = run_once(benchmark, pipeline)
+    print()
+    print("# Table 5: correlation of stalled cycles per core with execution time")
+    header = f"{'Benchmark':<18s} " + "  ".join(f"{m:>10s}" for m in MACHINE_GRIDS)
+    print(header)
+    for i, name in enumerate(names):
+        cells = "  ".join(
+            f"{studies[m].rows[i].correlation:>10.2f}" for m in MACHINE_GRIDS
+        )
+        print(f"{name:<18s} {cells}")
+    print("-" * len(header))
+    for stat, fn in (("Average", np.mean), ("Std. Dev.", np.std), ("Min.", np.min)):
+        cells = "  ".join(
+            f"{fn(studies[m].correlations()):>10.2f}" for m in MACHINE_GRIDS
+        )
+        print(f"{stat:<18s} {cells}")
+    print("\npaper: averages 0.93 / 0.97 / 0.94, minimum 0.62")
+    for study in studies.values():
+        assert study.average() > 0.7

@@ -1,0 +1,50 @@
+"""Table 7: predictions from both Xeon20 sockets to the Xeon48 machine.
+
+Measurements on the full Xeon20 (20 cores, so NUMA effects are present in the
+measurement window) are extrapolated to the 48-core Xeon48; the paper reports
+an average error of 13.9% vs 17.7% for single-socket Xeon20 predictions, with
+a much smaller standard deviation.
+
+The two machines differ (frequency, cache sizes), so the cross-machine
+frequency scaling of Section 4.3 is applied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import XEON20_GRID, XEON48_GRID, campaign_workloads, run_once
+from repro import EstimaConfig, EstimaPredictor, MachineSimulator
+from repro.machine import get_machine
+from repro.workloads import get_workload
+
+
+def bench_tab07_xeon20_to_xeon48(benchmark, sweep_cache):
+    names = campaign_workloads()
+    xeon20 = get_machine("xeon20")
+    xeon48 = get_machine("xeon48")
+    config = EstimaConfig.for_cross_machine(
+        measurement_frequency_ghz=xeon20.frequency_ghz,
+        target_frequency_ghz=xeon48.frequency_ghz,
+    )
+
+    def pipeline():
+        errors = {}
+        for name in names:
+            measured = sweep_cache("xeon20", name, XEON20_GRID)
+            truth = sweep_cache("xeon48", name, XEON48_GRID)
+            prediction = EstimaPredictor(config).predict(measured, target_cores=48)
+            eval_cores = [int(c) for c in truth.cores if c > 20]
+            errors[name] = prediction.evaluate(truth, core_counts=eval_cores).max_error_pct
+        return errors
+
+    errors = run_once(benchmark, pipeline)
+    print()
+    print("# Table 7: maximum prediction errors (%), Xeon20 (20 cores) -> Xeon48 (48 cores)")
+    for name, error in errors.items():
+        print(f"{name:<18s} {error:>8.1f}")
+    values = np.asarray(list(errors.values()))
+    print("-" * 28)
+    print(f"{'Average':<18s} {np.mean(values):>8.1f}   (paper: 13.9)")
+    print(f"{'Std. Dev.':<18s} {np.std(values):>8.1f}   (paper: 6.5)")
+    print(f"{'Max.':<18s} {np.max(values):>8.1f}   (paper: 30.0)")

@@ -1,0 +1,124 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the paper's
+evaluation (see DESIGN.md section 4 for the index).  The benches print the
+paper-style rows/series to stdout — run them with
+``pytest benchmarks/ --benchmark-only -s`` to see the output — and use
+pytest-benchmark to time the end-to-end pipeline that produces them.
+
+Two knobs keep the suite's runtime manageable:
+
+* sweeps use a representative core-count grid rather than every core count;
+* campaign-style benches (Tables 4, 5, 6, 7, Figure 13) default to a
+  representative subset of workloads.  Set ``REPRO_FULL=1`` to run all 19
+  workloads exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import EstimaConfig, EstimaPredictor, MachineSimulator, TimeExtrapolation  # noqa: E402
+from repro.machine import get_machine  # noqa: E402
+from repro.workloads import TABLE4_WORKLOADS, get_workload  # noqa: E402
+
+#: Core-count grid used for Opteron sweeps (dense in the measurement window).
+OPTERON_GRID = [1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48]
+XEON20_GRID = [1, 2, 3, 4, 6, 8, 10, 12, 14, 16, 18, 20]
+XEON48_GRID = [1, 2, 4, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48]
+
+#: Representative subset used when REPRO_FULL is not set.
+SUBSET_WORKLOADS = (
+    "lock_free_ht",
+    "genome",
+    "intruder",
+    "kmeans",
+    "yada",
+    "blackscholes",
+    "raytrace",
+    "streamcluster",
+)
+
+
+def campaign_workloads() -> tuple[str, ...]:
+    """The workload list campaign benches iterate over."""
+    if os.environ.get("REPRO_FULL"):
+        return TABLE4_WORKLOADS
+    return SUBSET_WORKLOADS
+
+
+@pytest.fixture(scope="session")
+def opteron():
+    return get_machine("opteron48")
+
+
+@pytest.fixture(scope="session")
+def xeon20():
+    return get_machine("xeon20")
+
+
+@pytest.fixture(scope="session")
+def xeon48():
+    return get_machine("xeon48")
+
+
+@pytest.fixture(scope="session")
+def haswell():
+    return get_machine("haswell_desktop")
+
+
+@pytest.fixture(scope="session")
+def sweep_cache():
+    """Session cache of (machine, workload, grid) -> MeasurementSet sweeps."""
+    cache: dict = {}
+
+    def get(machine_name: str, workload_name: str, grid=None):
+        grid_key = tuple(grid) if grid is not None else None
+        key = (machine_name, workload_name, grid_key)
+        if key not in cache:
+            simulator = MachineSimulator(get_machine(machine_name))
+            cache[key] = simulator.sweep(
+                get_workload(workload_name), core_counts=list(grid) if grid else None
+            )
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def prediction_cache(sweep_cache):
+    """Session cache of ESTIMA predictions keyed by their full configuration."""
+    cache: dict = {}
+
+    def get(
+        machine_name: str,
+        workload_name: str,
+        *,
+        measurement_cores: int,
+        target_cores: int,
+        grid=None,
+        use_software_stalls: bool = True,
+    ):
+        key = (machine_name, workload_name, measurement_cores, target_cores, use_software_stalls)
+        if key not in cache:
+            sweep = sweep_cache(machine_name, workload_name, grid or OPTERON_GRID)
+            config = EstimaConfig(use_software_stalls=use_software_stalls)
+            cache[key] = EstimaPredictor(config).predict(
+                sweep.restrict_to(measurement_cores), target_cores=target_cores
+            )
+        return cache[key]
+
+    return get
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark (pipelines are seconds-long)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Capacity planning: will memcached / SQLite benefit from a bigger server?
+
+Reproduces the Section 4.3 scenario: both production applications are profiled
+on a 4-core desktop (Haswell, 3.4 GHz) and ESTIMA predicts how they will
+behave on a 20-core dual-socket Xeon before the server is ever bought.
+Execution times are rescaled by the clock-frequency ratio, exactly as the
+paper does.
+
+The deployment question the prediction answers: at how many cores does the
+application stop improving, and is the bigger machine worth it?
+
+Run with ``python examples/capacity_planning.py``.
+"""
+
+from __future__ import annotations
+
+from repro import get_machine, get_workload
+from repro.runner import CrossMachineExperiment
+
+
+def plan(workload_name: str, measurement_cores: int) -> None:
+    desktop = get_machine("haswell_desktop")
+    server = get_machine("xeon20")
+    experiment = CrossMachineExperiment(measurement_machine=desktop, target_machine=server)
+    result = experiment.run(get_workload(workload_name), measurement_cores=measurement_cores)
+
+    prediction = result.estima
+    print(f"=== {workload_name} ===")
+    print(f"measured on {desktop.name} ({measurement_cores} hardware threads)")
+    print(f"predicted for {server.name} ({server.total_threads} cores)\n")
+    print(f"{'cores':>6} {'predicted (s)':>14} {'measured (s)':>14}")
+    for cores in (2, 4, 8, 12, 16, 20):
+        measured = result.ground_truth.time_at(cores)
+        print(f"{cores:>6d} {prediction.predicted_time_at(cores):>14.2f} {measured:>14.2f}")
+
+    peak = prediction.predicted_peak_cores()
+    print(f"\nESTIMA says {workload_name} stops improving at about {peak} cores.")
+    print(f"Prediction error vs the server measurements: max {result.estima_error.max_error_pct:.1f}%, "
+          f"mean {result.estima_error.mean_error_pct:.1f}%")
+    if peak < server.total_threads * 0.8:
+        print("=> a machine this large is NOT fully utilised by this configuration.\n")
+    else:
+        print("=> the application can use the whole machine.\n")
+
+
+def main() -> None:
+    # The paper measures memcached on 3 hardware threads (clients take the
+    # rest of the desktop) and SQLite on 4 cores.
+    plan("memcached", measurement_cores=3)
+    plan("sqlite_tpcc", measurement_cores=4)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: predict the scalability of one application from a small machine.
+
+The flow mirrors Figure 3 of the paper:
+
+1. collect stalled-cycle counters and execution times for the application at
+   low core counts (here: the ``intruder`` NIDS benchmark on one socket — 12
+   cores — of the 48-core Opteron, produced by the simulation substrate);
+2. let ESTIMA extrapolate every stall category and translate the combined
+   stalls per core into execution-time predictions for the full machine;
+3. compare against the ground truth and against the naive time-extrapolation
+   baseline.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    EstimaPredictor,
+    MachineSimulator,
+    TimeExtrapolation,
+    get_machine,
+    get_workload,
+)
+
+
+def main() -> None:
+    machine = get_machine("opteron48")
+    workload = get_workload("intruder")
+    print(f"Machine : {machine.describe()}")
+    print(f"Workload: {workload.name} — {workload.description}\n")
+
+    # Step 1: "profile" the application.  On real hardware this is a perf +
+    # instrumented-runtime run per core count; here the simulator stands in.
+    simulator = MachineSimulator(machine)
+    ground_truth = simulator.sweep(workload, core_counts=[1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48])
+    measurements = ground_truth.restrict_to(12)
+    print(f"Collected {len(measurements)} measurement points (1..12 cores).")
+    print(f"Stall categories: {', '.join(measurements.category_names())}\n")
+
+    # Step 2: extrapolate to the full 48-core machine.
+    prediction = EstimaPredictor().predict(measurements, target_cores=48)
+    print(prediction.summary())
+
+    # Step 3: evaluate against ground truth and the baseline.
+    baseline = TimeExtrapolation().predict(measurements, target_cores=48)
+    print(f"\n{'cores':>6} {'measured':>10} {'ESTIMA':>10} {'time-extrap':>12}")
+    for cores in (16, 20, 24, 32, 40, 48):
+        print(
+            f"{cores:>6d} {ground_truth.time_at(cores):>10.2f} "
+            f"{prediction.predicted_time_at(cores):>10.2f} "
+            f"{baseline.predicted_time_at(cores):>12.2f}"
+        )
+
+    estima_error = prediction.evaluate(ground_truth)
+    baseline_error = baseline.evaluate(ground_truth)
+    actual_peak = int(ground_truth.cores[int(np.argmin(ground_truth.times))])
+    print(f"\nActual best core count   : {actual_peak}")
+    print(f"ESTIMA predicted peak    : {prediction.predicted_peak_cores()}")
+    print(f"Baseline predicted peak  : {baseline.predicted_peak_cores()}")
+    print(f"ESTIMA max error         : {estima_error.max_error_pct:.1f}%")
+    print(f"Time-extrapolation error : {baseline_error.max_error_pct:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The pinned toolchain on the evaluation machines has no ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) are unavailable; this shim
+lets ``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

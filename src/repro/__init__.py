@@ -1,0 +1,65 @@
+"""repro — reproduction of "ESTIMA: Extrapolating ScalabiliTy of In-Memory Applications".
+
+The package is organised in layers:
+
+* :mod:`repro.core` — the ESTIMA tool itself: stalled-cycle extrapolation,
+  the time-extrapolation baseline, weak scaling, plugins.
+* :mod:`repro.machine` — parametric models of the paper's machines (topology,
+  caches, memory system, performance-counter catalogues).
+* :mod:`repro.sync` — synchronization substrates (locks, barriers, STM,
+  lock-free retries) that produce software stalls.
+* :mod:`repro.workloads` — the 21 evaluation workloads plus memcached and
+  SQLite/TPC-C as parametric demand models.
+* :mod:`repro.simulation` — composes workloads with machines into the stall
+  counters and execution times ESTIMA consumes.
+* :mod:`repro.runner` — measurement campaigns over workloads x machines.
+* :mod:`repro.analysis` — correlation studies, bottleneck identification and
+  paper-style report tables.
+
+Quickstart::
+
+    from repro import EstimaPredictor, MachineSimulator, get_machine, get_workload
+
+    machine = get_machine("opteron48")
+    measurements = MachineSimulator(machine).sweep(get_workload("intruder"))
+    prediction = EstimaPredictor().predict(
+        measurements.restrict_to(12), target_cores=48
+    )
+    print(prediction.summary())
+"""
+
+from .core import (
+    EstimaConfig,
+    EstimaPredictor,
+    Measurement,
+    MeasurementSet,
+    PluginSet,
+    ScalabilityPrediction,
+    StallPlugin,
+    TimeExtrapolation,
+)
+from .machine import MachineSpec, get_machine
+from .simulation import MachineSimulator, SimulationResult
+from .workloads import Workload, WorkloadProfile, get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EstimaConfig",
+    "EstimaPredictor",
+    "MachineSimulator",
+    "MachineSpec",
+    "Measurement",
+    "MeasurementSet",
+    "PluginSet",
+    "ScalabilityPrediction",
+    "SimulationResult",
+    "StallPlugin",
+    "TimeExtrapolation",
+    "Workload",
+    "WorkloadProfile",
+    "__version__",
+    "get_machine",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,24 @@
+"""Analysis utilities: correlation studies, bottleneck reports, paper-style tables."""
+
+from .bottleneck import BottleneckReport, CategoryGrowth, optimization_improvement
+from .correlation import (
+    CorrelationRow,
+    CorrelationStudy,
+    frontend_correlation_delta,
+    stalls_time_correlation,
+)
+from .report import PaperComparison, comparison_table, figure_series, format_paper_comparison
+
+__all__ = [
+    "BottleneckReport",
+    "CategoryGrowth",
+    "CorrelationRow",
+    "CorrelationStudy",
+    "PaperComparison",
+    "comparison_table",
+    "figure_series",
+    "format_paper_comparison",
+    "frontend_correlation_delta",
+    "optimization_improvement",
+    "stalls_time_correlation",
+]

@@ -1,0 +1,148 @@
+"""Bottleneck identification from extrapolated stall categories (Section 4.6).
+
+ESTIMA is primarily a scalability predictor, but the same per-category
+extrapolations reveal *which* stall source will dominate at higher core
+counts.  The paper's workflow is:
+
+1. extrapolate stalls, look at the categories that grow fastest / dominate at
+   the target core count;
+2. attribute those categories to code sites (the paper uses ``perf``; the
+   simulation substrate attributes synchronization categories to the
+   synchronization model that produced them);
+3. apply the suggested fix (cheaper locks for streamcluster, coarser decode
+   batching for intruder) and re-measure.
+
+:class:`BottleneckReport` implements steps 1-2 on a
+:class:`~repro.core.result.ScalabilityPrediction`, and
+:func:`optimization_improvement` quantifies step 3 by comparing the original
+and optimized workload variants (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.measurement import MeasurementSet
+from repro.core.result import ScalabilityPrediction
+
+__all__ = ["CategoryGrowth", "BottleneckReport", "optimization_improvement"]
+
+#: Known attribution of stall categories to the code level responsible for
+#: them.  Hardware categories map to micro-architectural resources; software
+#: categories map to the synchronization construct whose runtime reported them.
+CATEGORY_HINTS: Mapping[str, str] = {
+    "stm_aborted_tx_cycles": "aborted STM transactions (contended shared data structure)",
+    "lock_spin_cycles": "spinning on busy locks",
+    "lock_block_cycles": "blocking on pthread mutexes / trylock loops",
+    "barrier_wait_cycles": "waiting at barriers (load imbalance or barrier protocol)",
+    "cas_retry_cycles": "failed compare-and-swap retries",
+    "dispatch_stall_reorder_buffer_full": "long-latency memory accesses (cache misses, NUMA)",
+    "resource_stalls_rob": "long-latency memory accesses (cache misses, NUMA)",
+    "dispatch_stall_ls_full": "store/write-bandwidth pressure",
+    "resource_stalls_sb": "store/write-bandwidth pressure",
+    "dispatch_stall_reservation_station_full": "dependency chains starving the scheduler",
+    "resource_stalls_rs": "dependency chains starving the scheduler",
+    "dispatch_stall_fpu_full": "floating-point unit pressure",
+    "dispatch_stall_branch_abort": "branch mispredictions",
+    "stall_iq_full": "pipeline-recovery backpressure",
+    "resource_stalls_any": "generic allocation backpressure",
+}
+
+
+@dataclass(frozen=True)
+class CategoryGrowth:
+    """How one stall category evolves between the measured and target core counts."""
+
+    category: str
+    value_at_measured: float
+    value_at_target: float
+    share_at_target: float
+    hint: str
+
+    @property
+    def growth_factor(self) -> float:
+        if self.value_at_measured <= 0.0:
+            return float("inf") if self.value_at_target > 0 else 1.0
+        return self.value_at_target / self.value_at_measured
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Ranked stall categories at the prediction target."""
+
+    workload: str
+    measured_cores: int
+    target_cores: int
+    growths: tuple[CategoryGrowth, ...]
+
+    @classmethod
+    def from_prediction(cls, prediction: ScalabilityPrediction) -> "BottleneckReport":
+        measured_cores = prediction.measured.max_cores
+        target = prediction.target_cores
+        values_target = {
+            name: float(max(res.predict(target), 0.0))
+            for name, res in prediction.category_extrapolations.items()
+        }
+        total = sum(values_target.values())
+        growths = []
+        for name, res in prediction.category_extrapolations.items():
+            at_measured = float(max(res.predict(measured_cores), 0.0))
+            at_target = values_target[name]
+            growths.append(
+                CategoryGrowth(
+                    category=name,
+                    value_at_measured=at_measured,
+                    value_at_target=at_target,
+                    share_at_target=(at_target / total) if total > 0 else 0.0,
+                    hint=CATEGORY_HINTS.get(name, "application-specific stalls"),
+                )
+            )
+        growths.sort(key=lambda g: g.value_at_target, reverse=True)
+        return cls(
+            workload=prediction.workload,
+            measured_cores=measured_cores,
+            target_cores=target,
+            growths=tuple(growths),
+        )
+
+    def dominant(self, top: int = 3) -> tuple[CategoryGrowth, ...]:
+        """The categories contributing most at the target core count."""
+        return self.growths[:top]
+
+    def fastest_growing(self, top: int = 3) -> tuple[CategoryGrowth, ...]:
+        """The categories growing fastest between measurement and target."""
+        ranked = sorted(self.growths, key=lambda g: g.growth_factor, reverse=True)
+        return tuple(ranked[:top])
+
+    def format_report(self, top: int = 5) -> str:
+        lines = [
+            f"Bottleneck report for {self.workload} "
+            f"(measured {self.measured_cores} cores, target {self.target_cores}):"
+        ]
+        for growth in self.dominant(top):
+            lines.append(
+                f"  {growth.category:<42s} {growth.share_at_target * 100:5.1f}% of stalls, "
+                f"x{growth.growth_factor:.1f} vs {self.measured_cores} cores — {growth.hint}"
+            )
+        return "\n".join(lines)
+
+
+def optimization_improvement(
+    original: MeasurementSet, optimized: MeasurementSet, *, core_counts: Sequence[int] | None = None
+) -> dict[int, float]:
+    """Execution-time improvement (percent) of the optimized variant per core count.
+
+    Reproduces the Figure-11 comparison: positive values mean the optimized
+    application is faster at that core count.
+    """
+    if core_counts is None:
+        core_counts = [int(c) for c in original.cores if c in set(int(x) for x in optimized.cores)]
+    improvements: dict[int, float] = {}
+    for cores in core_counts:
+        before = original.time_at(int(cores))
+        after = optimized.time_at(int(cores))
+        improvements[int(cores)] = float((before - after) / before * 100.0)
+    return improvements

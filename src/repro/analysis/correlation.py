@@ -1,0 +1,132 @@
+"""Correlation studies between stalled cycles per core and execution time.
+
+Section 5.1 of the paper validates ESTIMA's central assumption — that stalled
+cycles per core track execution time — by measuring both over full machines
+and reporting their Pearson correlation for every workload (Table 5).
+Section 5.2 repeats the exercise with frontend stalls added (Table 6) to show
+they contribute nothing, and Section 5.3 with and without software stalls
+(Figure 14).
+
+These helpers compute exactly those numbers from measurement sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.measurement import MeasurementSet
+from repro.core.metrics import pearson_correlation
+
+__all__ = [
+    "stalls_time_correlation",
+    "frontend_correlation_delta",
+    "CorrelationStudy",
+    "CorrelationRow",
+]
+
+
+def stalls_time_correlation(
+    measurements: MeasurementSet,
+    *,
+    software: bool = True,
+    frontend: bool = False,
+) -> float:
+    """Pearson correlation of stalled cycles per core with execution time."""
+    spc = measurements.stalls_per_core(software=software, frontend=frontend)
+    return pearson_correlation(spc, measurements.times)
+
+
+def frontend_correlation_delta(measurements: MeasurementSet, *, software: bool = True) -> float:
+    """Correlation change (percentage points x100 of correlation) from adding frontend stalls.
+
+    Positive values mean frontend stalls improved the correlation; the paper's
+    Table 6 shows the average is ~zero or negative, justifying their exclusion.
+    Returned in percent, like the paper ("improvement over backend-only (%)").
+    """
+    base = stalls_time_correlation(measurements, software=software, frontend=False)
+    with_frontend = stalls_time_correlation(measurements, software=software, frontend=True)
+    if base == 0.0:
+        return 0.0
+    return float((with_frontend - base) / abs(base) * 100.0)
+
+
+@dataclass(frozen=True)
+class CorrelationRow:
+    """One workload's correlations on one machine."""
+
+    workload: str
+    machine: str
+    correlation: float
+    correlation_hw_only: float
+    correlation_with_frontend: float
+
+    @property
+    def frontend_improvement_pct(self) -> float:
+        if self.correlation == 0.0:
+            return 0.0
+        return float(
+            (self.correlation_with_frontend - self.correlation) / abs(self.correlation) * 100.0
+        )
+
+
+@dataclass(frozen=True)
+class CorrelationStudy:
+    """Table-5 / Table-6 style correlation summary over many workloads."""
+
+    rows: tuple[CorrelationRow, ...]
+
+    @classmethod
+    def from_measurements(
+        cls, measurement_sets: Iterable[MeasurementSet]
+    ) -> "CorrelationStudy":
+        rows = []
+        for ms in measurement_sets:
+            rows.append(
+                CorrelationRow(
+                    workload=ms.workload,
+                    machine=ms.machine,
+                    correlation=stalls_time_correlation(ms, software=True),
+                    correlation_hw_only=stalls_time_correlation(ms, software=False),
+                    correlation_with_frontend=stalls_time_correlation(
+                        ms, software=True, frontend=True
+                    ),
+                )
+            )
+        return cls(rows=tuple(rows))
+
+    def correlations(self) -> np.ndarray:
+        return np.asarray([row.correlation for row in self.rows], dtype=float)
+
+    def average(self) -> float:
+        return float(np.mean(self.correlations()))
+
+    def minimum(self) -> float:
+        return float(np.min(self.correlations()))
+
+    def std(self) -> float:
+        return float(np.std(self.correlations()))
+
+    def frontend_improvements(self) -> np.ndarray:
+        return np.asarray([row.frontend_improvement_pct for row in self.rows], dtype=float)
+
+    def by_workload(self) -> Mapping[str, CorrelationRow]:
+        return {row.workload: row for row in self.rows}
+
+    def format_table(self) -> str:
+        header = f"{'Benchmark':<18s} {'corr':>6s} {'hw-only':>8s} {'+frontend %':>12s}"
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                f"{row.workload:<18s} {row.correlation:>6.2f} {row.correlation_hw_only:>8.2f} "
+                f"{row.frontend_improvement_pct:>12.2f}"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'Average':<18s} {self.average():>6.2f} "
+            f"{np.mean([r.correlation_hw_only for r in self.rows]):>8.2f} "
+            f"{np.mean(self.frontend_improvements()):>12.2f}"
+        )
+        return "\n".join(lines)

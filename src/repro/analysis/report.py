@@ -1,0 +1,84 @@
+"""Paper-style report formatting.
+
+The benchmark harness regenerates every table and figure of the evaluation;
+this module owns the shared formatting so benches print rows that read like
+the paper's tables (benchmark name, per-target errors, summary statistics) and
+figure series (core count vs value pairs) in a stable, diffable layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["figure_series", "comparison_table", "PaperComparison", "format_paper_comparison"]
+
+
+def figure_series(
+    title: str,
+    cores: Sequence[int] | np.ndarray,
+    series: Mapping[str, Sequence[float] | np.ndarray],
+    *,
+    unit: str = "s",
+) -> str:
+    """Render one figure as aligned text columns (cores + one column per curve)."""
+    cores = np.asarray(cores, dtype=int)
+    names = list(series)
+    header = f"{'cores':>6s} " + " ".join(f"{name:>16s}" for name in names)
+    lines = [f"# {title} (values in {unit})", header]
+    arrays = {name: np.asarray(values, dtype=float) for name, values in series.items()}
+    for name, values in arrays.items():
+        if values.shape[0] != cores.shape[0]:
+            raise ValueError(f"series {name!r} length {values.shape[0]} != cores {cores.shape[0]}")
+    for i, c in enumerate(cores):
+        row = " ".join(f"{arrays[name][i]:>16.4f}" for name in names)
+        lines.append(f"{int(c):>6d} {row}")
+    return "\n".join(lines)
+
+
+def comparison_table(
+    title: str,
+    rows: Mapping[str, Mapping[str, float]],
+    *,
+    decimals: int = 1,
+) -> str:
+    """Render a nested mapping {row: {column: value}} as an aligned table."""
+    if not rows:
+        raise ValueError("comparison_table needs at least one row")
+    columns = list(next(iter(rows.values())).keys())
+    header = f"{'benchmark':<20s} " + " ".join(f"{c:>14s}" for c in columns)
+    lines = [f"# {title}", header, "-" * len(header)]
+    for name, cells in rows.items():
+        row = " ".join(f"{cells[c]:>14.{decimals}f}" for c in columns)
+        lines.append(f"{name:<20s} {row}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PaperComparison:
+    """Paper-reported value vs the value this reproduction measured."""
+
+    experiment: str
+    metric: str
+    paper_value: float
+    measured_value: float
+    note: str = ""
+
+    @property
+    def matches_direction(self) -> bool:
+        """Whether both values point the same way (sign / above-below-zero)."""
+        return bool(np.sign(self.paper_value) == np.sign(self.measured_value))
+
+
+def format_paper_comparison(comparisons: Iterable[PaperComparison]) -> str:
+    """Render paper-vs-measured rows (the EXPERIMENTS.md format)."""
+    header = f"{'experiment':<28s} {'metric':<38s} {'paper':>10s} {'measured':>10s}  note"
+    lines = [header, "-" * len(header)]
+    for comp in comparisons:
+        lines.append(
+            f"{comp.experiment:<28s} {comp.metric:<38s} {comp.paper_value:>10.2f} "
+            f"{comp.measured_value:>10.2f}  {comp.note}"
+        )
+    return "\n".join(lines)

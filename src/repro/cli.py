@@ -1,0 +1,147 @@
+"""Command-line interface: an ``estima``-style tool around the library.
+
+The original ESTIMA is driven from the command line: point it at an
+application, let it collect counters for increasing core counts, and get a
+scalability prediction back.  This CLI mirrors that workflow on top of the
+simulation substrate:
+
+``estima predict --workload intruder --machine opteron48 --measure-cores 12 --target-cores 48``
+    Simulate the measurement runs, run the extrapolation, print the predicted
+    execution times and the bottleneck report.
+
+``estima measure --workload intruder --machine opteron48 --cores 12 --output meas.json``
+    Only collect (simulated) measurements and write them to a JSON file that
+    ``estima predict --input meas.json`` can consume later — the same
+    file-oriented flow the original tool uses with real ``perf`` data.
+
+``estima list``
+    Show the available workloads and machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.bottleneck import BottleneckReport
+from repro.core import EstimaConfig, EstimaPredictor, MeasurementSet, TimeExtrapolation
+from repro.machine.machines import MACHINES, get_machine
+from repro.simulation import MachineSimulator
+from repro.workloads.registry import WORKLOADS, get_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="estima",
+        description="Extrapolate the scalability of in-memory applications from stalled cycles.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list available workloads and machines")
+    list_cmd.set_defaults(func=_cmd_list)
+
+    measure = sub.add_parser("measure", help="collect (simulated) measurements to a JSON file")
+    measure.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    measure.add_argument("--machine", required=True, choices=sorted(MACHINES))
+    measure.add_argument("--cores", type=int, default=None, help="highest core count to measure")
+    measure.add_argument("--dataset-scale", type=float, default=1.0)
+    measure.add_argument("--output", required=True, help="output JSON path")
+    measure.set_defaults(func=_cmd_measure)
+
+    predict = sub.add_parser("predict", help="predict scalability for a larger core count")
+    predict.add_argument("--workload", choices=sorted(WORKLOADS), help="workload to simulate")
+    predict.add_argument("--machine", choices=sorted(MACHINES), help="machine to simulate on")
+    predict.add_argument("--input", help="measurement JSON produced by 'estima measure'")
+    predict.add_argument("--measure-cores", type=int, default=None)
+    predict.add_argument("--target-cores", type=int, required=True)
+    predict.add_argument("--checkpoints", type=int, default=2)
+    predict.add_argument("--no-software-stalls", action="store_true")
+    predict.add_argument("--baseline", action="store_true", help="also run time extrapolation")
+    predict.add_argument("--dataset-ratio", type=float, default=1.0)
+    predict.set_defaults(func=_cmd_predict)
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("Workloads:")
+    for name in sorted(WORKLOADS):
+        workload = get_workload(name)
+        print(f"  {name:<24s} [{workload.suite:<10s}] {workload.description}")
+    print("\nMachines:")
+    for name in sorted(MACHINES):
+        print(f"  {get_machine(name).describe()}")
+    return 0
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    machine = get_machine(args.machine)
+    workload = get_workload(args.workload)
+    cores = args.cores or machine.total_threads
+    simulator = MachineSimulator(machine)
+    measurements = simulator.sweep(
+        workload,
+        core_counts=[c for c in machine.core_counts() if c <= cores],
+        dataset_scale=args.dataset_scale,
+    )
+    measurements.save(args.output)
+    print(
+        f"wrote {len(measurements)} measurements of {workload.name} on {machine.name} "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    if args.input:
+        measurements = MeasurementSet.load(Path(args.input))
+    elif args.workload and args.machine:
+        machine = get_machine(args.machine)
+        workload = get_workload(args.workload)
+        cores = args.measure_cores or machine.total_threads
+        measurements = MachineSimulator(machine).sweep(
+            workload, core_counts=[c for c in machine.core_counts() if c <= cores]
+        )
+    else:
+        print("predict needs either --input or both --workload and --machine", file=sys.stderr)
+        return 2
+
+    if args.measure_cores:
+        measurements = measurements.restrict_to(args.measure_cores)
+
+    config = EstimaConfig(
+        checkpoints=args.checkpoints,
+        use_software_stalls=not args.no_software_stalls,
+        dataset_ratio=args.dataset_ratio,
+    )
+    prediction = EstimaPredictor(config).predict(measurements, target_cores=args.target_cores)
+    print(prediction.summary())
+    print()
+    print(f"{'cores':>6s} {'predicted time (s)':>20s} {'stalls/core':>16s}")
+    for i, cores in enumerate(prediction.prediction_cores):
+        print(
+            f"{int(cores):>6d} {prediction.predicted_times[i]:>20.4f} "
+            f"{prediction.stalls_per_core[i]:>16.3e}"
+        )
+    print()
+    print(BottleneckReport.from_prediction(prediction).format_report())
+
+    if args.baseline:
+        baseline = TimeExtrapolation(config).predict(measurements, target_cores=args.target_cores)
+        print("\nTime-extrapolation baseline:")
+        print(f"  predicted best core count: {baseline.predicted_peak_cores()}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

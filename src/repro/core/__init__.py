@@ -1,0 +1,62 @@
+"""ESTIMA core: stalled-cycle extrapolation of application scalability.
+
+This package is the paper's primary contribution: collect fine-grain backend
+stalled-cycle counters (plus optional software stalls) at low core counts,
+extrapolate every category with a small set of analytic kernels, translate the
+combined stalls per core back into execution time, and report the predicted
+scalability of the application on a larger machine.
+"""
+
+from .config import EstimaConfig
+from .fitting import FittedFunction, fit_kernel
+from .kernels import KERNELS, Kernel, get_kernel, kernel_names
+from .measurement import Measurement, MeasurementSet
+from .metrics import (
+    max_relative_error,
+    mean_relative_error,
+    pearson_correlation,
+    relative_errors,
+    rmse,
+)
+from .plugins import PluginSet, StallPlugin
+from .predictor import EstimaPredictor
+from .regression import ExtrapolationResult, extrapolate_series
+from .result import PredictionError, ScalabilityPrediction
+from .scaling_factor import ScalingFactorModel, fit_scaling_factor
+from .time_extrapolation import TimeExtrapolation, TimeExtrapolationPrediction
+from .weak_scaling import (
+    dataset_ratio_from_footprints,
+    scale_categories,
+    scale_extrapolated_stalls,
+)
+
+__all__ = [
+    "EstimaConfig",
+    "EstimaPredictor",
+    "ExtrapolationResult",
+    "FittedFunction",
+    "KERNELS",
+    "Kernel",
+    "Measurement",
+    "MeasurementSet",
+    "PluginSet",
+    "PredictionError",
+    "ScalabilityPrediction",
+    "ScalingFactorModel",
+    "StallPlugin",
+    "TimeExtrapolation",
+    "TimeExtrapolationPrediction",
+    "dataset_ratio_from_footprints",
+    "extrapolate_series",
+    "fit_kernel",
+    "fit_scaling_factor",
+    "get_kernel",
+    "kernel_names",
+    "max_relative_error",
+    "mean_relative_error",
+    "pearson_correlation",
+    "relative_errors",
+    "rmse",
+    "scale_categories",
+    "scale_extrapolated_stalls",
+]

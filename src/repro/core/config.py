@@ -1,0 +1,108 @@
+"""Configuration of an ESTIMA prediction run.
+
+The paper exposes a handful of knobs; all of them live here:
+
+* which kernels to fit (Table 1; all six by default),
+* how many of the highest-core-count measurements become *checkpoints*
+  (``c`` in Section 3.1.2; the paper uses 2 and 4),
+* the smallest measurement prefix considered during the over-fitting sweep
+  (``i`` runs from 3 to ``n`` in the paper),
+* whether software-stall categories are included,
+* cross-machine corrections: frequency ratio (Section 4.3) and dataset-size
+  ratio for weak scaling (Section 4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from .kernels import DEFAULT_KERNEL_NAMES, get_kernel
+
+__all__ = ["EstimaConfig"]
+
+
+@dataclass(frozen=True)
+class EstimaConfig:
+    """Knobs controlling the ESTIMA pipeline.
+
+    Attributes
+    ----------
+    kernel_names:
+        Table-1 kernels tried for every approximation.
+    checkpoints:
+        Number ``c`` of highest-core-count measurements held out and used to
+        score candidate fits (RMSE at checkpoints).
+    min_prefix:
+        Shortest measurement prefix used in the over-fitting sweep
+        (the paper iterates ``i`` in ``3..n``).
+    use_software_stalls:
+        Include software-reported stall categories when present in the
+        measurements (STM aborted-transaction cycles, lock spin cycles, ...).
+    use_frontend_stalls:
+        Include frontend stall categories.  Off by default — the paper shows
+        they add no information (Section 5.2 / Table 6); the switch exists to
+        reproduce exactly that experiment.
+    frequency_ratio:
+        ``f_measurement / f_target``; measured execution times are multiplied
+        by this before the scaling factor is computed, so predictions land in
+        target-machine time units (used for the desktop-to-server memcached
+        and SQLite experiments).
+    dataset_ratio:
+        Target dataset size divided by measurement dataset size; extrapolated
+        stall values are scaled by it (weak scaling, Section 4.5).
+    max_extrapolation_factor:
+        Realism bound: a fit whose extrapolated values exceed this multiple of
+        the largest training value is discarded as "not realistic".
+    """
+
+    kernel_names: tuple[str, ...] = DEFAULT_KERNEL_NAMES
+    checkpoints: int = 2
+    min_prefix: int = 3
+    use_software_stalls: bool = True
+    use_frontend_stalls: bool = False
+    frequency_ratio: float = 1.0
+    dataset_ratio: float = 1.0
+    max_extrapolation_factor: float = 1e4
+    random_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.checkpoints < 1:
+            raise ValueError("checkpoints must be >= 1")
+        if self.min_prefix < 2:
+            raise ValueError("min_prefix must be >= 2")
+        if self.frequency_ratio <= 0.0:
+            raise ValueError("frequency_ratio must be positive")
+        if self.dataset_ratio <= 0.0:
+            raise ValueError("dataset_ratio must be positive")
+        if not self.kernel_names:
+            raise ValueError("at least one kernel is required")
+        for name in self.kernel_names:
+            get_kernel(name)  # raises KeyError for unknown kernels
+
+    @property
+    def kernels(self):
+        """The resolved :class:`~repro.core.kernels.Kernel` objects."""
+        return tuple(get_kernel(name) for name in self.kernel_names)
+
+    def with_(self, **changes) -> "EstimaConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @classmethod
+    def for_cross_machine(
+        cls,
+        measurement_frequency_ghz: float,
+        target_frequency_ghz: float,
+        **kwargs,
+    ) -> "EstimaConfig":
+        """Config for desktop-to-server prediction with frequency scaling."""
+        if measurement_frequency_ghz <= 0 or target_frequency_ghz <= 0:
+            raise ValueError("frequencies must be positive")
+        ratio = measurement_frequency_ghz / target_frequency_ghz
+        return cls(frequency_ratio=ratio, **kwargs)
+
+    @classmethod
+    def for_weak_scaling(cls, dataset_ratio: float, **kwargs) -> "EstimaConfig":
+        """Config for weak-scaling predictions (bigger target dataset)."""
+        return cls(dataset_ratio=dataset_ratio, **kwargs)

@@ -1,0 +1,211 @@
+"""Non-linear least-squares fitting of a single kernel to measurements.
+
+This module is the numerical workhorse under :mod:`repro.core.regression`.
+It fits one :class:`~repro.core.kernels.Kernel` to a series of
+(core count, value) points with multi-start non-linear least squares and
+returns a :class:`FittedFunction` that the regression layer scores at the
+checkpoints.
+
+Values are normalised to their mean before fitting so that the generic
+initial guesses work for series spanning very different magnitudes
+(raw cycle counts are ~1e9-1e12, scaling factors are ~1e-9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize
+
+from .kernels import Kernel
+
+__all__ = ["FittedFunction", "fit_kernel", "fit_all_starts"]
+
+
+@dataclass(frozen=True)
+class FittedFunction:
+    """A kernel with concrete fitted parameters.
+
+    The fit is performed on values normalised by ``scale`` (the mean of the
+    training values); :meth:`__call__` undoes the normalisation so callers
+    always see original units.
+    """
+
+    kernel: Kernel
+    params: tuple[float, ...]
+    scale: float
+    train_cores: tuple[int, ...]
+    train_rmse: float
+
+    def __call__(self, n: np.ndarray | float | Sequence[float]) -> np.ndarray:
+        values = self.kernel(np.asarray(n, dtype=float), self.params) * self.scale
+        return np.asarray(values, dtype=float)
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+    def is_realistic(
+        self, n_eval: np.ndarray, *, allow_negative: bool = False, max_factor: float = 1e30
+    ) -> bool:
+        """Check the Section 3.1.2 realism criteria over ``n_eval``.
+
+        ``max_factor`` bounds (in original units) how large an extrapolated
+        value may grow before the fit is considered exploded.
+        """
+        n_eval = np.asarray(n_eval, dtype=float)
+        if self.kernel.has_pole(self.params, n_eval):
+            return False
+        values = self(n_eval)
+        if not np.all(np.isfinite(values)):
+            return False
+        if np.any(np.abs(values) > max_factor):
+            return False
+        if not allow_negative and np.any(values < 0.0):
+            return False
+        return True
+
+
+def _residuals(kernel: Kernel, x: np.ndarray, y: np.ndarray):
+    def fun(params: np.ndarray) -> np.ndarray:
+        pred = kernel.func(x, *params)
+        res = pred - y
+        return np.where(np.isfinite(res), res, 1e6)
+
+    return fun
+
+
+def _linear_design(kernel_name: str, x: np.ndarray) -> np.ndarray | None:
+    """Design matrix for kernels that are linear in their parameters.
+
+    ``CubicLn`` and ``Poly25`` are plain linear models; solving them directly
+    with ordinary least squares is both faster and more robust than iterating
+    a non-linear solver, so :func:`fit_kernel` short-circuits to this path.
+    """
+    if kernel_name == "CubicLn":
+        ln = np.log(np.maximum(x, 1e-9))
+        return np.column_stack([np.ones_like(x), ln, ln**2, ln**3])
+    if kernel_name == "Poly25":
+        return np.column_stack([np.ones_like(x), x, x**2, x**2.5])
+    return None
+
+
+def fit_kernel(
+    kernel: Kernel,
+    cores: Sequence[int] | np.ndarray,
+    values: Sequence[float] | np.ndarray,
+    *,
+    max_nfev: int = 600,
+) -> FittedFunction | None:
+    """Fit ``kernel`` to ``(cores, values)``; return None when nothing converges.
+
+    Multi-start: each initial guess from the kernel is tried and the converged
+    solution with the lowest training RMSE wins.  Returns ``None`` when the
+    series is shorter than the parameter count (under-determined) or when no
+    start converges to a finite solution.
+    """
+    x = np.asarray(cores, dtype=float)
+    y = np.asarray(values, dtype=float)
+    if x.ndim != 1 or y.shape != x.shape:
+        raise ValueError("cores and values must be 1-D arrays of equal length")
+    if x.size < 2:
+        return None
+    if np.any(~np.isfinite(y)):
+        return None
+    # With fewer points than parameters the problem is under-determined;
+    # Levenberg-Marquardt cannot be used, but a trust-region solve from each
+    # starting point still yields a usable (if weakly constrained) fit.  This
+    # matters for very short measurement series such as the 3-point memcached
+    # desktop runs of Section 4.3.
+    underdetermined = x.size < kernel.n_params
+
+    scale = float(np.mean(np.abs(y)))
+    if scale == 0.0 or not np.isfinite(scale):
+        scale = 1.0
+    y_norm = y / scale
+
+    design = _linear_design(kernel.name, x)
+    if design is not None:
+        params, *_ = np.linalg.lstsq(design, y_norm, rcond=None)
+        if not np.all(np.isfinite(params)):
+            return None
+        pred = design @ params
+        rmse = float(np.sqrt(np.mean((pred - y_norm) ** 2))) * scale
+        return FittedFunction(
+            kernel=kernel,
+            params=tuple(float(p) for p in params),
+            scale=scale,
+            train_cores=tuple(int(c) for c in x),
+            train_rmse=rmse,
+        )
+
+    best: FittedFunction | None = None
+    for guess in kernel.initial_guesses:
+        try:
+            result = optimize.least_squares(
+                _residuals(kernel, x, y_norm),
+                x0=np.asarray(guess, dtype=float),
+                method="trf" if underdetermined else "lm",
+                max_nfev=max_nfev,
+            )
+        except (ValueError, FloatingPointError):
+            continue
+        if not np.all(np.isfinite(result.x)):
+            continue
+        pred = kernel.func(x, *result.x)
+        if not np.all(np.isfinite(pred)):
+            continue
+        rmse = float(np.sqrt(np.mean((pred - y_norm) ** 2))) * scale
+        candidate = FittedFunction(
+            kernel=kernel,
+            params=tuple(float(p) for p in result.x),
+            scale=scale,
+            train_cores=tuple(int(c) for c in x),
+            train_rmse=rmse,
+        )
+        if best is None or candidate.train_rmse < best.train_rmse:
+            best = candidate
+    return best
+
+
+def fit_all_starts(
+    kernel: Kernel,
+    cores: Sequence[int] | np.ndarray,
+    values: Sequence[float] | np.ndarray,
+) -> list[FittedFunction]:
+    """Return every converged multi-start fit (mainly for diagnostics/tests)."""
+    x = np.asarray(cores, dtype=float)
+    y = np.asarray(values, dtype=float)
+    if x.size < kernel.n_params:
+        return []
+    scale = float(np.mean(np.abs(y))) or 1.0
+    y_norm = y / scale
+    fits: list[FittedFunction] = []
+    for guess in kernel.initial_guesses:
+        try:
+            result = optimize.least_squares(
+                _residuals(kernel, x, y_norm),
+                x0=np.asarray(guess, dtype=float),
+                method="lm",
+                max_nfev=2000,
+            )
+        except (ValueError, FloatingPointError):
+            continue
+        if not np.all(np.isfinite(result.x)):
+            continue
+        pred = kernel.func(x, *result.x)
+        if not np.all(np.isfinite(pred)):
+            continue
+        rmse = float(np.sqrt(np.mean((pred - y_norm) ** 2))) * scale
+        fits.append(
+            FittedFunction(
+                kernel=kernel,
+                params=tuple(float(p) for p in result.x),
+                scale=scale,
+                train_cores=tuple(int(c) for c in x),
+                train_rmse=rmse,
+            )
+        )
+    return fits

@@ -1,0 +1,270 @@
+"""Measurement containers — the input format of the ESTIMA tool.
+
+A :class:`Measurement` is what one profiled run of the target application at a
+given core count yields: the execution time plus the value of every collected
+stalled-cycle event (hardware counters, and optionally software-reported
+stalls).  A :class:`MeasurementSet` is the ordered collection over core counts
+``1..m`` that ESTIMA extrapolates from.
+
+These containers are deliberately independent of the machine simulator: on a
+real system they would be filled from ``perf stat`` output and runtime-library
+logs (see :mod:`repro.core.plugins`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Measurement", "MeasurementSet"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One profiled run at a fixed core count.
+
+    Attributes
+    ----------
+    cores:
+        Number of cores (threads) the application used.
+    time:
+        Execution time in seconds.
+    hardware_stalls:
+        Backend stalled-cycle counters, keyed by event name
+        (e.g. ``"dispatch_stall_reorder_buffer_full"``).  Values are total
+        cycles summed over all cores, as a ``perf`` aggregate would report.
+    software_stalls:
+        Optional software-reported stall cycles (e.g. ``"stm_aborted_tx_cycles"``,
+        ``"lock_spin_cycles"``), same units.
+    frontend_stalls:
+        Optional frontend stalled-cycle counters; only used when the
+        configuration explicitly enables them (Table-6 experiment).
+    memory_footprint_mb:
+        Resident dataset size of the run; used by weak scaling.
+    """
+
+    cores: int
+    time: float
+    hardware_stalls: Mapping[str, float] = field(default_factory=dict)
+    software_stalls: Mapping[str, float] = field(default_factory=dict)
+    frontend_stalls: Mapping[str, float] = field(default_factory=dict)
+    memory_footprint_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.time <= 0.0 or not np.isfinite(self.time):
+            raise ValueError(f"time must be positive and finite, got {self.time}")
+        for group in (self.hardware_stalls, self.software_stalls, self.frontend_stalls):
+            for key, value in group.items():
+                if value < 0.0 or not np.isfinite(value):
+                    raise ValueError(f"stall counter {key!r} must be non-negative, got {value}")
+
+    def stall_categories(
+        self, *, software: bool = True, frontend: bool = False
+    ) -> dict[str, float]:
+        """All stall counters merged into one mapping, honouring the toggles."""
+        merged = dict(self.hardware_stalls)
+        if software:
+            merged.update(self.software_stalls)
+        if frontend:
+            merged.update(self.frontend_stalls)
+        return merged
+
+    def total_stalls(self, *, software: bool = True, frontend: bool = False) -> float:
+        """Sum of all selected stall categories (cycles, all cores)."""
+        return float(sum(self.stall_categories(software=software, frontend=frontend).values()))
+
+    def stalls_per_core(self, *, software: bool = True, frontend: bool = False) -> float:
+        """Total stalled cycles divided by the core count (the paper's key quantity)."""
+        return self.total_stalls(software=software, frontend=frontend) / self.cores
+
+    def to_dict(self) -> dict:
+        return {
+            "cores": self.cores,
+            "time": self.time,
+            "hardware_stalls": dict(self.hardware_stalls),
+            "software_stalls": dict(self.software_stalls),
+            "frontend_stalls": dict(self.frontend_stalls),
+            "memory_footprint_mb": self.memory_footprint_mb,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Measurement":
+        return cls(
+            cores=int(payload["cores"]),
+            time=float(payload["time"]),
+            hardware_stalls=dict(payload.get("hardware_stalls", {})),
+            software_stalls=dict(payload.get("software_stalls", {})),
+            frontend_stalls=dict(payload.get("frontend_stalls", {})),
+            memory_footprint_mb=float(payload.get("memory_footprint_mb", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class MeasurementSet:
+    """Measurements of one workload over increasing core counts.
+
+    Measurements are stored sorted by core count; duplicate core counts are
+    rejected because the regression assumes one sample per count.
+    """
+
+    measurements: tuple[Measurement, ...]
+    workload: str = ""
+    machine: str = ""
+    frequency_ghz: float = 0.0
+    dataset_size: float = 1.0
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.measurements, key=lambda m: m.cores))
+        object.__setattr__(self, "measurements", ordered)
+        cores = [m.cores for m in ordered]
+        if len(set(cores)) != len(cores):
+            raise ValueError(f"duplicate core counts in measurement set: {cores}")
+        if not ordered:
+            raise ValueError("a MeasurementSet needs at least one measurement")
+
+    def __iter__(self) -> Iterator[Measurement]:
+        return iter(self.measurements)
+
+    def __len__(self) -> int:
+        return len(self.measurements)
+
+    @property
+    def cores(self) -> np.ndarray:
+        """Core counts as an integer array (ascending)."""
+        return np.asarray([m.cores for m in self.measurements], dtype=int)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Execution times (seconds), aligned with :attr:`cores`."""
+        return np.asarray([m.time for m in self.measurements], dtype=float)
+
+    @property
+    def max_cores(self) -> int:
+        return int(self.measurements[-1].cores)
+
+    def category_names(
+        self, *, software: bool = True, frontend: bool = False
+    ) -> tuple[str, ...]:
+        """Union of stall-category names present across all measurements."""
+        names: dict[str, None] = {}
+        for m in self.measurements:
+            for key in m.stall_categories(software=software, frontend=frontend):
+                names.setdefault(key, None)
+        return tuple(names)
+
+    def category_series(
+        self, name: str, *, software: bool = True, frontend: bool = False
+    ) -> np.ndarray:
+        """Values of one stall category across core counts (0.0 when absent)."""
+        return np.asarray(
+            [
+                m.stall_categories(software=software, frontend=frontend).get(name, 0.0)
+                for m in self.measurements
+            ],
+            dtype=float,
+        )
+
+    def stalls_per_core(self, *, software: bool = True, frontend: bool = False) -> np.ndarray:
+        """Measured total stalled cycles per core for each core count."""
+        return np.asarray(
+            [m.stalls_per_core(software=software, frontend=frontend) for m in self.measurements],
+            dtype=float,
+        )
+
+    def restrict_to(self, max_cores: int) -> "MeasurementSet":
+        """Keep only measurements with ``cores <= max_cores``.
+
+        This is how a "small measurement machine" is emulated when the data
+        was collected on a bigger one (e.g. measuring on one Opteron socket,
+        Section 4.4).
+        """
+        kept = tuple(m for m in self.measurements if m.cores <= max_cores)
+        if not kept:
+            raise ValueError(f"no measurements with cores <= {max_cores}")
+        return MeasurementSet(
+            measurements=kept,
+            workload=self.workload,
+            machine=self.machine,
+            frequency_ghz=self.frequency_ghz,
+            dataset_size=self.dataset_size,
+        )
+
+    def subset(self, core_counts: Iterable[int]) -> "MeasurementSet":
+        """Keep only the given core counts (raises if any is missing)."""
+        wanted = set(int(c) for c in core_counts)
+        by_cores = {m.cores: m for m in self.measurements}
+        missing = wanted - set(by_cores)
+        if missing:
+            raise KeyError(f"missing core counts: {sorted(missing)}")
+        return MeasurementSet(
+            measurements=tuple(by_cores[c] for c in sorted(wanted)),
+            workload=self.workload,
+            machine=self.machine,
+            frequency_ghz=self.frequency_ghz,
+            dataset_size=self.dataset_size,
+        )
+
+    def time_at(self, cores: int) -> float:
+        """Measured execution time at an exact core count."""
+        for m in self.measurements:
+            if m.cores == cores:
+                return m.time
+        raise KeyError(f"no measurement at {cores} cores")
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "machine": self.machine,
+            "frequency_ghz": self.frequency_ghz,
+            "dataset_size": self.dataset_size,
+            "measurements": [m.to_dict() for m in self.measurements],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "MeasurementSet":
+        return cls(
+            measurements=tuple(Measurement.from_dict(m) for m in payload["measurements"]),
+            workload=str(payload.get("workload", "")),
+            machine=str(payload.get("machine", "")),
+            frequency_ghz=float(payload.get("frequency_ghz", 0.0)),
+            dataset_size=float(payload.get("dataset_size", 1.0)),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Serialise to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "MeasurementSet":
+        """Load a measurement set previously written with :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    @classmethod
+    def from_arrays(
+        cls,
+        cores: Sequence[int],
+        times: Sequence[float],
+        categories: Mapping[str, Sequence[float]] | None = None,
+        *,
+        software_categories: Mapping[str, Sequence[float]] | None = None,
+        workload: str = "",
+        machine: str = "",
+    ) -> "MeasurementSet":
+        """Build a set from parallel arrays (convenient in tests and examples)."""
+        categories = categories or {}
+        software_categories = software_categories or {}
+        cores = list(cores)
+        measurements = []
+        for i, c in enumerate(cores):
+            hw = {name: float(vals[i]) for name, vals in categories.items()}
+            sw = {name: float(vals[i]) for name, vals in software_categories.items()}
+            measurements.append(
+                Measurement(cores=int(c), time=float(times[i]), hardware_stalls=hw, software_stalls=sw)
+            )
+        return cls(measurements=tuple(measurements), workload=workload, machine=machine)

@@ -1,0 +1,201 @@
+"""Plugin components for additional stall categories (Section 4.1).
+
+ESTIMA's accuracy can be improved by feeding it extra stall categories — at
+the software level (STM aborted-transaction cycles, lock spin cycles) or extra
+hardware events.  The original tool takes a configuration file naming, per
+plugin, the file the stalls are reported in (possibly stdout/stderr captured
+to a file), a regular expression that extracts the per-report value, and an
+aggregation function (min / max / sum / average) applied over all matches of
+one run.
+
+This module reproduces that mechanism: a :class:`StallPlugin` parses a text
+report into one value, and :class:`PluginSet` applies a collection of plugins
+to per-core-count report files and merges the results into an existing
+:class:`~repro.core.measurement.MeasurementSet`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .measurement import Measurement, MeasurementSet
+
+__all__ = ["StallPlugin", "PluginSet", "AGGREGATIONS"]
+
+
+def _aggregate_average(values: Sequence[float]) -> float:
+    return float(np.mean(values))
+
+
+#: Aggregation functions a plugin may apply to all matches within one report.
+AGGREGATIONS: dict[str, Callable[[Sequence[float]], float]] = {
+    "sum": lambda values: float(np.sum(values)),
+    "min": lambda values: float(np.min(values)),
+    "max": lambda values: float(np.max(values)),
+    "average": _aggregate_average,
+    "mean": _aggregate_average,
+}
+
+
+@dataclass(frozen=True)
+class StallPlugin:
+    """One user-specified stall category.
+
+    Attributes
+    ----------
+    name:
+        Category name under which the value is recorded (e.g.
+        ``"stm_aborted_tx_cycles"``).
+    pattern:
+        Regular expression with exactly one capturing group that extracts a
+        numeric value from a report line.
+    aggregation:
+        How to combine multiple matches in one report (``sum`` by default —
+        e.g. one line per thread).
+    level:
+        ``"software"`` or ``"hardware"``; decides which measurement field the
+        value lands in.
+    scale:
+        Optional multiplier applied to the aggregated value (e.g. to convert
+        microseconds reported by a runtime into cycles).
+    """
+
+    name: str
+    pattern: str
+    aggregation: str = "sum"
+    level: str = "software"
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.aggregation not in AGGREGATIONS:
+            raise ValueError(
+                f"unknown aggregation {self.aggregation!r}; "
+                f"choose one of {sorted(AGGREGATIONS)}"
+            )
+        if self.level not in ("software", "hardware"):
+            raise ValueError("level must be 'software' or 'hardware'")
+        compiled = re.compile(self.pattern)
+        if compiled.groups != 1:
+            raise ValueError("pattern must contain exactly one capturing group")
+        if self.scale <= 0.0:
+            raise ValueError("scale must be positive")
+
+    def extract(self, report_text: str) -> float:
+        """Parse one report and return the aggregated stall value.
+
+        Reports with no matching line contribute 0.0 — an application that
+        never aborted a transaction simply does not print abort statistics.
+        """
+        matches = re.findall(self.pattern, report_text)
+        if not matches:
+            return 0.0
+        values = [float(m) for m in matches]
+        return AGGREGATIONS[self.aggregation](values) * self.scale
+
+    def extract_from_file(self, path: str | Path) -> float:
+        """Parse a report file on disk."""
+        return self.extract(Path(path).read_text())
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "pattern": self.pattern,
+            "aggregation": self.aggregation,
+            "level": self.level,
+            "scale": self.scale,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "StallPlugin":
+        return cls(
+            name=str(payload["name"]),
+            pattern=str(payload["pattern"]),
+            aggregation=str(payload.get("aggregation", "sum")),
+            level=str(payload.get("level", "software")),
+            scale=float(payload.get("scale", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class PluginSet:
+    """A collection of stall plugins loaded from a configuration file."""
+
+    plugins: tuple[StallPlugin, ...] = ()
+
+    def __iter__(self):
+        return iter(self.plugins)
+
+    def __len__(self) -> int:
+        return len(self.plugins)
+
+    @classmethod
+    def from_config(cls, path: str | Path) -> "PluginSet":
+        """Load a JSON configuration file: ``{"plugins": [{...}, ...]}``."""
+        payload = json.loads(Path(path).read_text())
+        if isinstance(payload, list):
+            entries = payload
+        else:
+            entries = payload.get("plugins", [])
+        return cls(plugins=tuple(StallPlugin.from_dict(entry) for entry in entries))
+
+    def save_config(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps({"plugins": [p.to_dict() for p in self.plugins]}, indent=2)
+        )
+
+    def extract_all(self, report_text: str) -> dict[str, tuple[str, float]]:
+        """Apply every plugin to one report; returns name -> (level, value)."""
+        return {p.name: (p.level, p.extract(report_text)) for p in self.plugins}
+
+    def augment(
+        self,
+        measurements: MeasurementSet,
+        reports: Mapping[int, str],
+    ) -> MeasurementSet:
+        """Merge plugin-extracted stalls into a measurement set.
+
+        ``reports`` maps core count to the captured report text of that run.
+        Core counts without a report keep their existing stall categories.
+        """
+        augmented: list[Measurement] = []
+        for m in measurements:
+            report = reports.get(m.cores)
+            if report is None:
+                augmented.append(m)
+                continue
+            extracted = self.extract_all(report)
+            hw = dict(m.hardware_stalls)
+            sw = dict(m.software_stalls)
+            for name, (level, value) in extracted.items():
+                target = hw if level == "hardware" else sw
+                target[name] = target.get(name, 0.0) + value
+            augmented.append(
+                Measurement(
+                    cores=m.cores,
+                    time=m.time,
+                    hardware_stalls=hw,
+                    software_stalls=sw,
+                    frontend_stalls=dict(m.frontend_stalls),
+                    memory_footprint_mb=m.memory_footprint_mb,
+                )
+            )
+        return MeasurementSet(
+            measurements=tuple(augmented),
+            workload=measurements.workload,
+            machine=measurements.machine,
+            frequency_ghz=measurements.frequency_ghz,
+            dataset_size=measurements.dataset_size,
+        )
+
+    def augment_from_files(
+        self, measurements: MeasurementSet, report_paths: Mapping[int, str | Path]
+    ) -> MeasurementSet:
+        """Like :meth:`augment` but reading reports from files."""
+        reports = {cores: Path(path).read_text() for cores, path in report_paths.items()}
+        return self.augment(measurements, reports)

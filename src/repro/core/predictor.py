@@ -1,0 +1,180 @@
+"""The end-to-end ESTIMA prediction pipeline (paper Figure 3).
+
+:class:`EstimaPredictor` glues the pieces together:
+
+(A) take a :class:`~repro.core.measurement.MeasurementSet` collected on the
+    measurement machine (stall counters + execution time at core counts 1..m);
+(B) extrapolate every stall category individually with the checkpoint-based
+    regression of :mod:`repro.core.regression`, then combine them into total
+    stalled cycles per core over the whole target range;
+(C) fit the time/stalls-per-core scaling factor
+    (:mod:`repro.core.scaling_factor`) and multiply it back onto the
+    extrapolated stalls per core to obtain predicted execution times.
+
+Cross-machine frequency scaling and weak-scaling dataset scaling are applied
+exactly where the paper applies them: the frequency ratio rescales the
+measured times before the factor is formed (Section 4.3), and the dataset
+ratio rescales the extrapolated stall values (Section 4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from .config import EstimaConfig
+from .measurement import MeasurementSet
+from .regression import ExtrapolationResult, extrapolate_series
+from .result import ScalabilityPrediction
+from .scaling_factor import fit_scaling_factor
+from .weak_scaling import scale_extrapolated_stalls
+
+__all__ = ["EstimaPredictor"]
+
+
+class EstimaPredictor:
+    """Predict application scalability from low-core-count measurements.
+
+    Parameters
+    ----------
+    config:
+        Pipeline configuration; defaults reproduce the paper's setup
+        (all six kernels, two checkpoints, software stalls enabled when
+        present, frontend stalls disabled).
+    """
+
+    def __init__(self, config: EstimaConfig | None = None) -> None:
+        self.config = config or EstimaConfig()
+
+    # ------------------------------------------------------------------ #
+    # Step B: per-category extrapolation
+    # ------------------------------------------------------------------ #
+    def extrapolate_categories(
+        self, measurements: MeasurementSet, target_cores: int
+    ) -> dict[str, ExtrapolationResult]:
+        """Extrapolate each stall category to ``target_cores`` individually.
+
+        Categories that are identically zero across all measurements carry no
+        information and are skipped (they would only destabilise the fits).
+        """
+        cfg = self.config
+        cores = measurements.cores
+        results: dict[str, ExtrapolationResult] = {}
+        for name in measurements.category_names(
+            software=cfg.use_software_stalls, frontend=cfg.use_frontend_stalls
+        ):
+            series = measurements.category_series(
+                name, software=cfg.use_software_stalls, frontend=cfg.use_frontend_stalls
+            )
+            if np.all(series == 0.0):
+                continue
+            results[name] = extrapolate_series(
+                cores,
+                series,
+                cfg,
+                target_cores=target_cores,
+                category=name,
+                allow_negative=False,
+            )
+        if not results:
+            raise ValueError(
+                "measurement set contains no non-zero stall categories; "
+                "ESTIMA cannot extrapolate without stalled-cycle information"
+            )
+        return results
+
+    def _stalls_per_core(
+        self,
+        extrapolations: Mapping[str, ExtrapolationResult],
+        prediction_cores: np.ndarray,
+    ) -> np.ndarray:
+        """Combine category extrapolations into total stalled cycles per core."""
+        total = np.zeros(prediction_cores.size, dtype=float)
+        for result in extrapolations.values():
+            total += result.predict(prediction_cores)
+        return total / prediction_cores
+
+    # ------------------------------------------------------------------ #
+    # Full pipeline
+    # ------------------------------------------------------------------ #
+    def predict(
+        self,
+        measurements: MeasurementSet,
+        target_cores: int,
+        *,
+        measurement_cores: int | None = None,
+    ) -> ScalabilityPrediction:
+        """Run the full ESTIMA pipeline.
+
+        Parameters
+        ----------
+        measurements:
+            Collected stall counters and times.  If ``measurement_cores`` is
+            given the set is first restricted to that many cores, emulating a
+            smaller measurement machine.
+        target_cores:
+            Highest core count to predict for (the target machine size).
+        """
+        if target_cores < 1:
+            raise ValueError("target_cores must be >= 1")
+        if measurement_cores is not None:
+            measurements = measurements.restrict_to(measurement_cores)
+        if target_cores < measurements.max_cores:
+            raise ValueError(
+                f"target_cores ({target_cores}) is below the measured maximum "
+                f"({measurements.max_cores}); nothing to extrapolate"
+            )
+        if len(measurements) < max(self.config.min_prefix, 3):
+            raise ValueError(
+                f"need at least {max(self.config.min_prefix, 3)} measurements, "
+                f"got {len(measurements)}"
+            )
+
+        cfg = self.config
+        prediction_cores = np.arange(1, target_cores + 1, dtype=int)
+
+        # (B) extrapolate stall categories and combine into stalls per core.
+        extrapolations = self.extrapolate_categories(measurements, target_cores)
+        stalls_per_core = self._stalls_per_core(extrapolations, prediction_cores.astype(float))
+
+        # Weak scaling: a larger target dataset proportionally increases the
+        # work (and therefore the stalls) each core performs.
+        stalls_per_core = scale_extrapolated_stalls(
+            stalls_per_core, dataset_ratio=cfg.dataset_ratio
+        )
+
+        # (C) scaling factor: measured time (rescaled to the target machine's
+        # clock) over measured stalls per core, extrapolated and selected by
+        # correlation with the stalls-per-core curve.
+        measured_cores = measurements.cores
+        measured_times = measurements.times * cfg.frequency_ratio
+        measured_spc = measurements.stalls_per_core(
+            software=cfg.use_software_stalls, frontend=cfg.use_frontend_stalls
+        )
+        factor_model = fit_scaling_factor(
+            measured_cores,
+            measured_times,
+            measured_spc,
+            cfg,
+            eval_cores=prediction_cores,
+            eval_stalls_per_core=stalls_per_core,
+        )
+        predicted_times = factor_model.predict_time(prediction_cores, stalls_per_core)
+        # A zero predicted time is never meaningful; floor to a tiny epsilon so
+        # downstream speedup/error math stays finite.
+        predicted_times = np.maximum(predicted_times, 1e-12)
+
+        return ScalabilityPrediction(
+            workload=measurements.workload,
+            machine=measurements.machine,
+            measured=measurements,
+            target_cores=int(target_cores),
+            prediction_cores=prediction_cores,
+            category_extrapolations=extrapolations,
+            stalls_per_core=stalls_per_core,
+            scaling_factor=factor_model,
+            predicted_times=predicted_times,
+            dataset_ratio=cfg.dataset_ratio,
+            frequency_ratio=cfg.frequency_ratio,
+        )

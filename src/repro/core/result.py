@@ -1,0 +1,185 @@
+"""Prediction result containers.
+
+A :class:`ScalabilityPrediction` bundles everything one ESTIMA run produces:
+the per-category extrapolations (Figure 5 a-f), the stalled cycles per core
+curve (Figure 5 g), the scaling-factor model (Figure 5 h) and the predicted
+execution times (Figure 5 i), plus helpers to evaluate the prediction against
+ground-truth measurements (Tables 4 and 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .measurement import MeasurementSet
+from .metrics import max_relative_error, mean_relative_error, pearson_correlation, relative_errors
+from .regression import ExtrapolationResult
+from .scaling_factor import ScalingFactorModel
+
+__all__ = ["ScalabilityPrediction", "PredictionError"]
+
+
+@dataclass(frozen=True)
+class PredictionError:
+    """Error summary of one prediction against measured ground truth."""
+
+    cores: np.ndarray
+    predicted: np.ndarray
+    actual: np.ndarray
+    max_error_pct: float
+    mean_error_pct: float
+
+    def error_at(self, cores: int) -> float:
+        """Absolute relative error (percent) at one core count."""
+        idx = np.where(self.cores == cores)[0]
+        if idx.size == 0:
+            raise KeyError(f"no prediction evaluated at {cores} cores")
+        i = int(idx[0])
+        return float(abs(self.predicted[i] - self.actual[i]) / self.actual[i] * 100.0)
+
+
+@dataclass(frozen=True)
+class ScalabilityPrediction:
+    """Full output of :meth:`repro.core.predictor.EstimaPredictor.predict`.
+
+    Attributes
+    ----------
+    workload / machine:
+        Labels copied from the measurement set.
+    measured:
+        The measurement set the prediction was built from (already restricted
+        to the measurement machine's core counts).
+    target_cores:
+        The highest core count predicted for.
+    prediction_cores:
+        Every core count from 1 to ``target_cores`` (the prediction grid).
+    category_extrapolations:
+        Per stall category, the chosen kernel fit and its extrapolation.
+    stalls_per_core:
+        Extrapolated total stalled cycles per core over ``prediction_cores``.
+    scaling_factor:
+        The time/stalls-per-core translation model.
+    predicted_times:
+        Predicted execution time (seconds, target-machine time base) over
+        ``prediction_cores``.
+    """
+
+    workload: str
+    machine: str
+    measured: MeasurementSet
+    target_cores: int
+    prediction_cores: np.ndarray
+    category_extrapolations: Mapping[str, ExtrapolationResult]
+    stalls_per_core: np.ndarray
+    scaling_factor: ScalingFactorModel
+    predicted_times: np.ndarray
+    dataset_ratio: float = 1.0
+    frequency_ratio: float = 1.0
+
+    def predicted_time_at(self, cores: int) -> float:
+        """Predicted execution time at one core count."""
+        idx = np.where(self.prediction_cores == cores)[0]
+        if idx.size == 0:
+            raise KeyError(f"no prediction at {cores} cores (target {self.target_cores})")
+        return float(self.predicted_times[int(idx[0])])
+
+    def stalls_per_core_at(self, cores: int) -> float:
+        idx = np.where(self.prediction_cores == cores)[0]
+        if idx.size == 0:
+            raise KeyError(f"no prediction at {cores} cores")
+        return float(self.stalls_per_core[int(idx[0])])
+
+    def predicted_speedup(self) -> np.ndarray:
+        """Predicted speedup relative to the predicted single-core time."""
+        base = self.predicted_times[0]
+        return base / self.predicted_times
+
+    def predicted_peak_cores(self) -> int:
+        """Core count at which predicted execution time is lowest.
+
+        This is the paper's "number of cores for which the application stops
+        scaling": beyond it, adding cores no longer improves (or degrades)
+        performance.
+        """
+        return int(self.prediction_cores[int(np.argmin(self.predicted_times))])
+
+    def predicts_scaling_beyond(self, cores: int, *, tolerance: float = 0.02) -> bool:
+        """Whether the prediction says performance still improves past ``cores``.
+
+        ``tolerance`` ignores improvements smaller than the given fraction, so
+        flat tails do not count as "still scaling".
+        """
+        idx = np.where(self.prediction_cores == cores)[0]
+        if idx.size == 0:
+            raise KeyError(f"no prediction at {cores} cores")
+        i = int(idx[0])
+        if i == self.prediction_cores.size - 1:
+            return False
+        best_later = float(np.min(self.predicted_times[i + 1 :]))
+        return best_later < self.predicted_times[i] * (1.0 - tolerance)
+
+    def evaluate(
+        self, actual: MeasurementSet, *, core_counts: Sequence[int] | None = None
+    ) -> PredictionError:
+        """Compare predicted times against ground-truth measurements.
+
+        Only core counts above the measurement machine's maximum are scored by
+        default (those are the actual predictions); pass ``core_counts`` to
+        override, e.g. to include the measured range too.
+        """
+        if core_counts is None:
+            cutoff = self.measured.max_cores
+            core_counts = [int(c) for c in actual.cores if c > cutoff]
+        core_counts = [int(c) for c in core_counts]
+        if not core_counts:
+            raise ValueError("no core counts to evaluate the prediction at")
+        predicted = np.asarray([self.predicted_time_at(c) for c in core_counts], dtype=float)
+        measured = np.asarray([actual.time_at(c) for c in core_counts], dtype=float)
+        return PredictionError(
+            cores=np.asarray(core_counts, dtype=int),
+            predicted=predicted,
+            actual=measured,
+            max_error_pct=max_relative_error(predicted, measured),
+            mean_error_pct=mean_relative_error(predicted, measured),
+        )
+
+    def correlation_with_actual(self, actual: MeasurementSet) -> float:
+        """Pearson correlation of predicted vs measured time over shared cores."""
+        shared = [int(c) for c in actual.cores if c <= self.target_cores]
+        predicted = np.asarray([self.predicted_time_at(c) for c in shared], dtype=float)
+        measured = np.asarray([actual.time_at(c) for c in shared], dtype=float)
+        return pearson_correlation(predicted, measured)
+
+    def dominant_categories(self, cores: int, *, top: int = 3) -> list[tuple[str, float]]:
+        """The stall categories contributing most at ``cores`` (bottleneck hunting).
+
+        Returns (category, fraction-of-total) pairs sorted by contribution,
+        the Section-4.6 starting point for identifying future bottlenecks.
+        """
+        contributions = {
+            name: float(max(res.predict(cores), 0.0))
+            for name, res in self.category_extrapolations.items()
+        }
+        total = sum(contributions.values())
+        if total <= 0.0:
+            return []
+        ranked = sorted(contributions.items(), key=lambda kv: kv[1], reverse=True)
+        return [(name, value / total) for name, value in ranked[:top]]
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary of the prediction."""
+        lines = [
+            f"ESTIMA prediction for {self.workload or '<workload>'} on "
+            f"{self.machine or '<machine>'}",
+            f"  measured up to {self.measured.max_cores} cores, "
+            f"predicted up to {self.target_cores}",
+            f"  scaling-factor kernel: {self.scaling_factor.kernel_name} "
+            f"(correlation {self.scaling_factor.correlation:.3f})",
+            f"  predicted best core count: {self.predicted_peak_cores()}",
+        ]
+        for name, res in self.category_extrapolations.items():
+            lines.append(f"  category {name}: kernel {res.kernel_name}")
+        return "\n".join(lines)

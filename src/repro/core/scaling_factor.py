@@ -1,0 +1,142 @@
+"""Translating stalled cycles per core into execution time (Section 3.1.3).
+
+Stalled cycles per core and execution time follow the same shape but are
+different quantities; the ratio between them — the *scaling factor*
+``factor(n) = time(n) / stalls_per_core(n)`` — is itself a function of the
+core count.  ESTIMA computes the factor at the measured core counts, fits the
+same Table-1 kernels to it, and then, unlike the per-category regression,
+chooses the kernel whose *predicted execution times have the highest Pearson
+correlation with the extrapolated stalled cycles per core* over the target
+range.  The winning factor function turns extrapolated stalls per core into
+predicted execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .config import EstimaConfig
+from .fitting import FittedFunction, fit_kernel
+from .kernels import get_kernel
+from .metrics import pearson_correlation
+
+__all__ = ["ScalingFactorModel", "fit_scaling_factor"]
+
+
+@dataclass(frozen=True)
+class ScalingFactorModel:
+    """The chosen time/stalls-per-core scaling function.
+
+    Attributes
+    ----------
+    fitted:
+        The winning kernel fit of the factor series.
+    correlation:
+        Pearson correlation between the resulting time predictions and the
+        extrapolated stalls per core over the evaluation range (the selection
+        criterion).
+    measured_cores / measured_factor:
+        The training series ``time(n) / stalls_per_core(n)``.
+    """
+
+    fitted: FittedFunction
+    correlation: float
+    measured_cores: np.ndarray
+    measured_factor: np.ndarray
+
+    @property
+    def kernel_name(self) -> str:
+        return self.fitted.name
+
+    def factor(self, n: np.ndarray | Sequence[int] | float) -> np.ndarray:
+        """Scaling-factor values at core counts ``n`` (clamped positive)."""
+        return np.maximum(self.fitted(np.asarray(n, dtype=float)), 0.0)
+
+    def predict_time(
+        self, n: np.ndarray | Sequence[int] | float, stalls_per_core: np.ndarray | float
+    ) -> np.ndarray:
+        """Predicted execution time = factor(n) * stalls_per_core(n)."""
+        return self.factor(n) * np.asarray(stalls_per_core, dtype=float)
+
+
+def fit_scaling_factor(
+    cores: Sequence[int] | np.ndarray,
+    times: Sequence[float] | np.ndarray,
+    stalls_per_core: Sequence[float] | np.ndarray,
+    config: EstimaConfig,
+    *,
+    eval_cores: Sequence[int] | np.ndarray,
+    eval_stalls_per_core: Sequence[float] | np.ndarray,
+) -> ScalingFactorModel:
+    """Fit the scaling factor and select by correlation (Section 3.1.3).
+
+    Parameters
+    ----------
+    cores, times, stalls_per_core:
+        Measured series at the low core counts.
+    eval_cores, eval_stalls_per_core:
+        The full target range and the already-extrapolated stalls per core on
+        it; candidate factors are judged by how well ``factor * stalls``
+        correlates with the stalls-per-core curve there.
+    """
+    x = np.asarray(cores, dtype=float)
+    t = np.asarray(times, dtype=float)
+    spc = np.asarray(stalls_per_core, dtype=float)
+    if not (x.size == t.size == spc.size):
+        raise ValueError("cores, times and stalls_per_core must be equally long")
+    if np.any(spc <= 0.0):
+        raise ValueError("stalls per core must be positive to form the scaling factor")
+
+    factor = t / spc
+    ev_x = np.asarray(eval_cores, dtype=float)
+    ev_spc = np.asarray(eval_stalls_per_core, dtype=float)
+    if ev_x.size != ev_spc.size:
+        raise ValueError("eval_cores and eval_stalls_per_core must be equally long")
+    scale_bound = config.max_extrapolation_factor * max(float(np.max(np.abs(factor))), 1e-30)
+
+    def _select(allow_negative: bool) -> tuple[float, FittedFunction] | None:
+        best: tuple[float, FittedFunction] | None = None
+        for kernel in config.kernels:
+            fitted = fit_kernel(kernel, x, factor)
+            if fitted is None:
+                continue
+            if not fitted.is_realistic(
+                ev_x, allow_negative=allow_negative, max_factor=scale_bound
+            ):
+                continue
+            predicted_time = np.maximum(fitted(ev_x), 0.0) * ev_spc
+            if not np.all(np.isfinite(predicted_time)):
+                continue
+            corr = pearson_correlation(predicted_time, ev_spc) if ev_x.size >= 2 else 1.0
+            if best is None or corr > best[0]:
+                best = (corr, fitted)
+        return best
+
+    best = _select(allow_negative=False)
+    if best is None:
+        # Short or steeply decreasing factor series can leave no kernel
+        # positive everywhere; fall back to unconstrained fits (predictions
+        # are clamped at zero downstream).
+        best = _select(allow_negative=True)
+    if best is None:
+        # Last resort: a constant factor equal to the measured mean.  This
+        # keeps the pipeline usable on degenerate inputs instead of failing.
+        constant = FittedFunction(
+            kernel=get_kernel("Poly25"),
+            params=(1.0, 0.0, 0.0, 0.0),
+            scale=float(np.mean(factor)),
+            train_cores=tuple(int(c) for c in x),
+            train_rmse=float(np.std(factor)),
+        )
+        best = (0.0, constant)
+
+    correlation, fitted = best
+    return ScalingFactorModel(
+        fitted=fitted,
+        correlation=float(correlation),
+        measured_cores=np.asarray(cores, dtype=int),
+        measured_factor=factor,
+    )

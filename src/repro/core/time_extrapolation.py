@@ -1,0 +1,127 @@
+"""The time-extrapolation baseline (Section 2.4).
+
+The straightforward alternative to ESTIMA: fit the Table-1 kernels directly to
+the measured execution times and extrapolate.  It works when the scalability
+trend is already visible in the measurements and fails otherwise (kmeans,
+intruder, yada, Figure 1 / Figure 7) — reproducing that failure mode is the
+point of keeping this baseline around.
+
+Selection mirrors ESTIMA's per-category procedure (checkpoints + prefix sweep)
+so the comparison isolates *what* is extrapolated (time vs fine-grain stalls),
+not *how*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .config import EstimaConfig
+from .measurement import MeasurementSet
+from .metrics import max_relative_error, mean_relative_error
+from .regression import ExtrapolationResult, extrapolate_series
+from .result import PredictionError
+
+__all__ = ["TimeExtrapolation", "TimeExtrapolationPrediction"]
+
+
+@dataclass(frozen=True)
+class TimeExtrapolationPrediction:
+    """Output of the time-extrapolation baseline."""
+
+    workload: str
+    machine: str
+    measured: MeasurementSet
+    target_cores: int
+    prediction_cores: np.ndarray
+    predicted_times: np.ndarray
+    extrapolation: ExtrapolationResult
+
+    def predicted_time_at(self, cores: int) -> float:
+        idx = np.where(self.prediction_cores == cores)[0]
+        if idx.size == 0:
+            raise KeyError(f"no prediction at {cores} cores")
+        return float(self.predicted_times[int(idx[0])])
+
+    def predicted_peak_cores(self) -> int:
+        """Core count with the lowest predicted execution time."""
+        return int(self.prediction_cores[int(np.argmin(self.predicted_times))])
+
+    def predicts_scaling_beyond(self, cores: int, *, tolerance: float = 0.02) -> bool:
+        """Whether the baseline believes performance keeps improving past ``cores``."""
+        idx = np.where(self.prediction_cores == cores)[0]
+        if idx.size == 0:
+            raise KeyError(f"no prediction at {cores} cores")
+        i = int(idx[0])
+        if i == self.prediction_cores.size - 1:
+            return False
+        best_later = float(np.min(self.predicted_times[i + 1 :]))
+        return best_later < self.predicted_times[i] * (1.0 - tolerance)
+
+    def evaluate(
+        self, actual: MeasurementSet, *, core_counts: Sequence[int] | None = None
+    ) -> PredictionError:
+        """Score the baseline against ground truth (same contract as ESTIMA)."""
+        if core_counts is None:
+            cutoff = self.measured.max_cores
+            core_counts = [int(c) for c in actual.cores if c > cutoff]
+        core_counts = [int(c) for c in core_counts]
+        if not core_counts:
+            raise ValueError("no core counts to evaluate the prediction at")
+        predicted = np.asarray([self.predicted_time_at(c) for c in core_counts], dtype=float)
+        measured = np.asarray([actual.time_at(c) for c in core_counts], dtype=float)
+        return PredictionError(
+            cores=np.asarray(core_counts, dtype=int),
+            predicted=predicted,
+            actual=measured,
+            max_error_pct=max_relative_error(predicted, measured),
+            mean_error_pct=mean_relative_error(predicted, measured),
+        )
+
+
+class TimeExtrapolation:
+    """Directly extrapolate measured execution time with the Table-1 kernels."""
+
+    def __init__(self, config: EstimaConfig | None = None) -> None:
+        self.config = config or EstimaConfig()
+
+    def predict(
+        self,
+        measurements: MeasurementSet,
+        target_cores: int,
+        *,
+        measurement_cores: int | None = None,
+    ) -> TimeExtrapolationPrediction:
+        """Extrapolate execution time to ``target_cores``."""
+        if measurement_cores is not None:
+            measurements = measurements.restrict_to(measurement_cores)
+        if target_cores < measurements.max_cores:
+            raise ValueError(
+                f"target_cores ({target_cores}) below measured maximum "
+                f"({measurements.max_cores})"
+            )
+        cfg = self.config
+        prediction_cores = np.arange(1, target_cores + 1, dtype=int)
+        times = measurements.times * cfg.frequency_ratio
+        extrapolation = extrapolate_series(
+            measurements.cores,
+            times,
+            cfg,
+            target_cores=target_cores,
+            category="execution_time",
+            allow_negative=False,
+        )
+        predicted = np.maximum(extrapolation.predict(prediction_cores), 1e-12)
+        # Weak scaling: the baseline scales time directly by the dataset ratio.
+        predicted = predicted * cfg.dataset_ratio
+        return TimeExtrapolationPrediction(
+            workload=measurements.workload,
+            machine=measurements.machine,
+            measured=measurements,
+            target_cores=int(target_cores),
+            prediction_cores=prediction_cores,
+            predicted_times=predicted,
+            extrapolation=extrapolation,
+        )

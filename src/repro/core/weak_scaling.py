@@ -1,0 +1,69 @@
+"""Weak-scaling support (Section 4.5).
+
+When the target machine also runs a larger dataset, ESTIMA keeps its pipeline
+unchanged and simply scales the extrapolated stall values by the dataset-size
+ratio — "a simple technique" in the paper's words — plus it records the memory
+footprint during measurement so the ratio can be derived automatically.
+
+The paper notes (and we expose as an extension) that scaling different stall
+categories with different exponents could improve accuracy; see
+:func:`scale_categories` and its per-category exponents.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+__all__ = [
+    "scale_extrapolated_stalls",
+    "scale_categories",
+    "dataset_ratio_from_footprints",
+]
+
+
+def scale_extrapolated_stalls(
+    stalls_per_core: np.ndarray, *, dataset_ratio: float
+) -> np.ndarray:
+    """Scale extrapolated stalls-per-core by the dataset-size ratio.
+
+    A ratio of 1.0 (strong scaling) returns the input untouched.
+    """
+    if dataset_ratio <= 0.0:
+        raise ValueError("dataset_ratio must be positive")
+    if dataset_ratio == 1.0:
+        return np.asarray(stalls_per_core, dtype=float)
+    return np.asarray(stalls_per_core, dtype=float) * dataset_ratio
+
+
+def scale_categories(
+    category_values: Mapping[str, np.ndarray],
+    *,
+    dataset_ratio: float,
+    exponents: Mapping[str, float] | None = None,
+) -> dict[str, np.ndarray]:
+    """Per-category weak scaling (the paper's suggested refinement).
+
+    Each category ``c`` is scaled by ``dataset_ratio ** exponents.get(c, 1.0)``.
+    With no exponents this reduces to the simple uniform scaling the paper
+    evaluates; sub-linear exponents model categories (e.g. FPU stalls) that do
+    not grow with the dataset.
+    """
+    if dataset_ratio <= 0.0:
+        raise ValueError("dataset_ratio must be positive")
+    exponents = exponents or {}
+    scaled: dict[str, np.ndarray] = {}
+    for name, values in category_values.items():
+        exp = float(exponents.get(name, 1.0))
+        scaled[name] = np.asarray(values, dtype=float) * (dataset_ratio**exp)
+    return scaled
+
+
+def dataset_ratio_from_footprints(
+    measured_footprint_mb: float, target_footprint_mb: float
+) -> float:
+    """Derive the dataset ratio from measured and target memory footprints."""
+    if measured_footprint_mb <= 0.0 or target_footprint_mb <= 0.0:
+        raise ValueError("memory footprints must be positive")
+    return target_footprint_mb / measured_footprint_mb

@@ -1,0 +1,56 @@
+"""Simulated multicore machine substrate.
+
+On the authors' testbeds, stalled cycles come from hardware performance
+counters; here they come from a parametric contention model of the same
+machines.  The package provides the machine descriptions (topology, caches,
+memory system, counter catalogues) — the composition with a workload happens
+in :mod:`repro.simulation`.
+"""
+
+from .caches import CacheBehaviour, CacheHierarchy, CacheLevel
+from .counters import (
+    AMD_FAMILY_10H,
+    INTEL_HASWELL,
+    CounterCatalog,
+    CounterEvent,
+    StallSource,
+    catalog_for_vendor,
+)
+from .machines import (
+    MACHINES,
+    MachineSpec,
+    get_machine,
+    haswell_desktop,
+    opteron48,
+    xeon20,
+    xeon48,
+)
+from .memory import MemoryBehaviour, MemorySystem
+from .pipeline import InstructionMix, StallBreakdown, decompose_stalls
+from .topology import CorePlacement, Topology
+
+__all__ = [
+    "AMD_FAMILY_10H",
+    "CacheBehaviour",
+    "CacheHierarchy",
+    "CacheLevel",
+    "CorePlacement",
+    "CounterCatalog",
+    "CounterEvent",
+    "INTEL_HASWELL",
+    "InstructionMix",
+    "MACHINES",
+    "MachineSpec",
+    "MemoryBehaviour",
+    "MemorySystem",
+    "StallBreakdown",
+    "StallSource",
+    "Topology",
+    "catalog_for_vendor",
+    "decompose_stalls",
+    "get_machine",
+    "haswell_desktop",
+    "opteron48",
+    "xeon20",
+    "xeon48",
+]

@@ -1,0 +1,229 @@
+"""Hardware performance-counter catalogues (paper Tables 2 and 3).
+
+ESTIMA uses the fine-grain backend stalled-cycle events of each processor
+family rather than an aggregate backend-stall event.  The catalogues below
+reproduce the events the paper lists:
+
+AMD Family 10h (Opteron 6172, Table 2)
+    ====== =============================================
+    0D2h   Dispatch Stall for Branch Abort to Retire
+    0D5h   Dispatch Stall for Reorder Buffer Full
+    0D6h   Dispatch Stall for Reservation Station Full
+    0D7h   Dispatch Stall for FPU Full
+    0D8h   Dispatch Stall for LS (load/store queue) Full
+    ====== =============================================
+
+Intel (Haswell / Ivy Bridge Xeon, Table 3)
+    ====== =============================================
+    0487h  Stalled cycles due to IQ full
+    01A2h  Cycles allocation stalled due to resource-related reasons
+    04A2h  No eligible RS entry available
+    08A2h  No store buffers available
+    10A2h  Re-order buffer full
+    ====== =============================================
+
+Each event carries a *generic stall source* so the machine simulator can
+produce vendor-specific counter names from a vendor-neutral stall
+decomposition (see :mod:`repro.machine.pipeline`).  Frontend events are
+catalogued too, but only used when the Table-6 experiment switches them on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Mapping
+
+__all__ = [
+    "StallSource",
+    "CounterEvent",
+    "CounterCatalog",
+    "AMD_FAMILY_10H",
+    "INTEL_HASWELL",
+    "catalog_for_vendor",
+]
+
+
+class StallSource(str, Enum):
+    """Vendor-neutral backend/frontend stall sources the simulator produces."""
+
+    MEMORY_LATENCY = "memory_latency"  # loads waiting on cache/memory -> ROB fills up
+    STORE_PRESSURE = "store_pressure"  # store queue / write bandwidth saturation
+    DEPENDENCY = "dependency"  # scheduler (RS) starvation on dependent ops
+    FPU_PRESSURE = "fpu_pressure"  # long-latency FP pipes backed up
+    BRANCH_RECOVERY = "branch_recovery"  # mispredicted branches draining to retire
+    ALLOCATION = "allocation"  # generic resource-allocation stalls
+    FRONTEND_ICACHE = "frontend_icache"  # instruction fetch misses
+    FRONTEND_DECODE = "frontend_decode"  # decode/fetch bandwidth
+
+
+@dataclass(frozen=True)
+class CounterEvent:
+    """One hardware performance counter event."""
+
+    code: str
+    name: str
+    description: str
+    source: StallSource
+    frontend: bool = False
+
+
+@dataclass(frozen=True)
+class CounterCatalog:
+    """The set of events ESTIMA collects on one processor family."""
+
+    vendor: str
+    family: str
+    backend: tuple[CounterEvent, ...]
+    frontend: tuple[CounterEvent, ...]
+
+    def backend_names(self) -> tuple[str, ...]:
+        return tuple(event.name for event in self.backend)
+
+    def frontend_names(self) -> tuple[str, ...]:
+        return tuple(event.name for event in self.frontend)
+
+    def event_by_name(self, name: str) -> CounterEvent:
+        for event in (*self.backend, *self.frontend):
+            if event.name == name:
+                return event
+        raise KeyError(f"no event named {name!r} in the {self.vendor} catalogue")
+
+    def event_by_code(self, code: str) -> CounterEvent:
+        for event in (*self.backend, *self.frontend):
+            if event.code.lower() == code.lower():
+                return event
+        raise KeyError(f"no event with code {code!r} in the {self.vendor} catalogue")
+
+    def backend_by_source(self) -> Mapping[StallSource, CounterEvent]:
+        """Map each generic stall source to the vendor's backend event."""
+        return {event.source: event for event in self.backend}
+
+
+AMD_FAMILY_10H = CounterCatalog(
+    vendor="amd",
+    family="family10h",
+    backend=(
+        CounterEvent(
+            code="0D2h",
+            name="dispatch_stall_branch_abort",
+            description="Dispatch Stall for Branch Abort to Retire",
+            source=StallSource.BRANCH_RECOVERY,
+        ),
+        CounterEvent(
+            code="0D5h",
+            name="dispatch_stall_reorder_buffer_full",
+            description="Dispatch Stall for Reorder Buffer Full",
+            source=StallSource.MEMORY_LATENCY,
+        ),
+        CounterEvent(
+            code="0D6h",
+            name="dispatch_stall_reservation_station_full",
+            description="Dispatch Stall for Reservation Station Full",
+            source=StallSource.DEPENDENCY,
+        ),
+        CounterEvent(
+            code="0D7h",
+            name="dispatch_stall_fpu_full",
+            description="Dispatch Stall for FPU Full",
+            source=StallSource.FPU_PRESSURE,
+        ),
+        CounterEvent(
+            code="0D8h",
+            name="dispatch_stall_ls_full",
+            description="Dispatch Stall for LS Full",
+            source=StallSource.STORE_PRESSURE,
+        ),
+    ),
+    frontend=(
+        CounterEvent(
+            code="081h",
+            name="instruction_cache_misses",
+            description="Instruction Cache Misses",
+            source=StallSource.FRONTEND_ICACHE,
+            frontend=True,
+        ),
+        CounterEvent(
+            code="0D0h",
+            name="decoder_empty",
+            description="Decoder Empty (no fetched instructions available)",
+            source=StallSource.FRONTEND_DECODE,
+            frontend=True,
+        ),
+    ),
+)
+
+
+INTEL_HASWELL = CounterCatalog(
+    vendor="intel",
+    family="haswell",
+    backend=(
+        CounterEvent(
+            code="0487h",
+            name="stall_iq_full",
+            description="Stalled cycles due to IQ full",
+            source=StallSource.BRANCH_RECOVERY,
+        ),
+        CounterEvent(
+            code="01A2h",
+            name="resource_stalls_any",
+            description="Cycles allocation stalled due to resource-related reasons",
+            source=StallSource.ALLOCATION,
+        ),
+        CounterEvent(
+            code="04A2h",
+            name="resource_stalls_rs",
+            description="No eligible RS entry available",
+            source=StallSource.DEPENDENCY,
+        ),
+        CounterEvent(
+            code="08A2h",
+            name="resource_stalls_sb",
+            description="No store buffers available",
+            source=StallSource.STORE_PRESSURE,
+        ),
+        CounterEvent(
+            code="10A2h",
+            name="resource_stalls_rob",
+            description="Re-order buffer full",
+            source=StallSource.MEMORY_LATENCY,
+        ),
+    ),
+    frontend=(
+        CounterEvent(
+            code="0280h",
+            name="icache_misses",
+            description="Instruction cache misses",
+            source=StallSource.FRONTEND_ICACHE,
+            frontend=True,
+        ),
+        CounterEvent(
+            code="019Ch",
+            name="idq_uops_not_delivered",
+            description="Uops not delivered by the frontend",
+            source=StallSource.FRONTEND_DECODE,
+            frontend=True,
+        ),
+    ),
+)
+
+_BY_VENDOR = {"amd": AMD_FAMILY_10H, "intel": INTEL_HASWELL}
+
+# Intel has only four backend events; FPU pressure manifests in RS stalls
+# there, so the simulator folds FPU_PRESSURE into the dependency event when a
+# vendor catalogue lacks a dedicated FPU counter.
+FALLBACK_SOURCE: dict[StallSource, StallSource] = {
+    StallSource.FPU_PRESSURE: StallSource.DEPENDENCY,
+    StallSource.ALLOCATION: StallSource.DEPENDENCY,
+    StallSource.BRANCH_RECOVERY: StallSource.DEPENDENCY,
+}
+
+
+def catalog_for_vendor(vendor: str) -> CounterCatalog:
+    """Return the counter catalogue for ``"amd"`` or ``"intel"``."""
+    try:
+        return _BY_VENDOR[vendor.lower()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unsupported vendor {vendor!r}; supported: {sorted(_BY_VENDOR)}"
+        ) from exc

@@ -1,0 +1,191 @@
+"""Machine specifications and the presets used in the paper's evaluation.
+
+Four machines appear in the evaluation (Sections 4.2 and 5.1):
+
+* a desktop **Intel Core i7 Haswell**, 4 cores / 8 hardware threads, 3.4 GHz —
+  the measurement machine for the memcached and SQLite experiments;
+* **Opteron**: 4-socket AMD Opteron 6172, 2 six-core dies per package,
+  48 cores, 2.1 GHz — the main scaling-up platform;
+* **Xeon20**: 2-socket Intel Xeon E5-2680 v2, 10 cores per socket, 2.8 GHz;
+* **Xeon48**: 4-socket Intel Xeon E7-4830 v3, 12 cores per socket, used as the
+  target of the Xeon20-to-Xeon48 extrapolations (Table 7).
+
+The cache/memory numbers are the published characteristics of those parts;
+they parameterise the contention models, they are not measured here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .caches import CacheHierarchy, CacheLevel
+from .counters import CounterCatalog, catalog_for_vendor
+from .memory import MemorySystem
+from .topology import Topology
+
+__all__ = [
+    "MachineSpec",
+    "haswell_desktop",
+    "opteron48",
+    "xeon20",
+    "xeon48",
+    "MACHINES",
+    "get_machine",
+]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete machine description consumed by the simulator."""
+
+    name: str
+    vendor: str
+    topology: Topology
+    frequency_ghz: float
+    caches: CacheHierarchy
+    memory: MemorySystem
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency_ghz must be positive")
+        catalog_for_vendor(self.vendor)  # validates the vendor string
+
+    @property
+    def counters(self) -> CounterCatalog:
+        """The performance-counter catalogue of this machine's processor family."""
+        return catalog_for_vendor(self.vendor)
+
+    @property
+    def total_cores(self) -> int:
+        return self.topology.total_cores
+
+    @property
+    def total_threads(self) -> int:
+        return self.topology.total_threads
+
+    @property
+    def threads_per_socket(self) -> int:
+        return self.topology.threads_per_socket
+
+    def core_counts(self, *, step: int = 1) -> list[int]:
+        """Measurement core counts 1..total_threads."""
+        return self.topology.core_counts(step=step)
+
+    def describe(self) -> str:
+        t = self.topology
+        return (
+            f"{self.name}: {t.sockets} socket(s) x {t.chips_per_socket} chip(s) x "
+            f"{t.cores_per_chip} cores (SMT {t.smt}) @ {self.frequency_ghz:.1f} GHz, "
+            f"{self.vendor} counters"
+        )
+
+
+def haswell_desktop() -> MachineSpec:
+    """The desktop Intel Core i7 Haswell measurement machine (4c/8t, 3.4 GHz)."""
+    return MachineSpec(
+        name="haswell_desktop",
+        vendor="intel",
+        topology=Topology(sockets=1, chips_per_socket=1, cores_per_chip=4, smt=2),
+        frequency_ghz=3.4,
+        caches=CacheHierarchy(
+            levels=(
+                CacheLevel(name="L1", size_kb=32.0, latency_cycles=4.0),
+                CacheLevel(name="L2", size_kb=256.0, latency_cycles=12.0),
+                CacheLevel(name="L3", size_kb=8192.0, latency_cycles=36.0, shared=True),
+            )
+        ),
+        memory=MemorySystem(
+            local_latency_ns=70.0,
+            bandwidth_gbs_per_socket=25.6,
+            numa_factor=1.0,
+        ),
+    )
+
+
+def opteron48() -> MachineSpec:
+    """The 4-socket, 48-core AMD Opteron 6172 machine (2.1 GHz).
+
+    Each package is a multi-chip module with two 6-core dies, so the
+    intra-socket (die-to-die) penalty is modelled separately from the
+    socket-to-socket NUMA factor — this is why NUMA effects are already
+    visible in single-socket measurements on this machine (Section 5.5).
+    """
+    return MachineSpec(
+        name="opteron48",
+        vendor="amd",
+        topology=Topology(sockets=4, chips_per_socket=2, cores_per_chip=6, smt=1),
+        frequency_ghz=2.1,
+        caches=CacheHierarchy(
+            levels=(
+                CacheLevel(name="L1", size_kb=64.0, latency_cycles=3.0),
+                CacheLevel(name="L2", size_kb=512.0, latency_cycles=12.0),
+                CacheLevel(name="L3", size_kb=6144.0, latency_cycles=40.0, shared=True),
+            )
+        ),
+        memory=MemorySystem(
+            local_latency_ns=85.0,
+            bandwidth_gbs_per_socket=21.3,
+            numa_factor=2.2,
+            intra_socket_factor=1.4,
+        ),
+    )
+
+
+def xeon20() -> MachineSpec:
+    """The 2-socket, 20-core Intel Xeon E5-2680 v2 machine (2.8 GHz)."""
+    return MachineSpec(
+        name="xeon20",
+        vendor="intel",
+        topology=Topology(sockets=2, chips_per_socket=1, cores_per_chip=10, smt=1),
+        frequency_ghz=2.8,
+        caches=CacheHierarchy(
+            levels=(
+                CacheLevel(name="L1", size_kb=32.0, latency_cycles=4.0),
+                CacheLevel(name="L2", size_kb=256.0, latency_cycles=12.0),
+                CacheLevel(name="L3", size_kb=25600.0, latency_cycles=40.0, shared=True),
+            )
+        ),
+        memory=MemorySystem(
+            local_latency_ns=75.0,
+            bandwidth_gbs_per_socket=51.2,
+            numa_factor=1.9,
+        ),
+    )
+
+
+def xeon48() -> MachineSpec:
+    """The 4-socket, 48-core Intel Xeon E7-4830 v3 machine (Section 5.1)."""
+    return MachineSpec(
+        name="xeon48",
+        vendor="intel",
+        topology=Topology(sockets=4, chips_per_socket=1, cores_per_chip=12, smt=1),
+        frequency_ghz=2.1,
+        caches=CacheHierarchy(
+            levels=(
+                CacheLevel(name="L1", size_kb=32.0, latency_cycles=4.0),
+                CacheLevel(name="L2", size_kb=256.0, latency_cycles=12.0),
+                CacheLevel(name="L3", size_kb=30720.0, latency_cycles=42.0, shared=True),
+            )
+        ),
+        memory=MemorySystem(
+            local_latency_ns=80.0,
+            bandwidth_gbs_per_socket=57.6,
+            numa_factor=2.0,
+        ),
+    )
+
+
+MACHINES = {
+    "haswell_desktop": haswell_desktop,
+    "opteron48": opteron48,
+    "xeon20": xeon20,
+    "xeon48": xeon48,
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Build one of the paper's machines by name."""
+    try:
+        return MACHINES[name]()
+    except KeyError as exc:
+        raise KeyError(f"unknown machine {name!r}; available: {sorted(MACHINES)}") from exc

@@ -1,0 +1,27 @@
+"""Measurement harness: experiments and campaigns over workloads and machines."""
+
+from .campaign import CampaignResult, CampaignRow, ErrorCampaign
+from .experiment import CrossMachineExperiment, Experiment, ExperimentResult
+from .io import (
+    load_measurements,
+    load_prediction_json,
+    save_measurements,
+    save_prediction_csv,
+    save_prediction_json,
+    save_table,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRow",
+    "CrossMachineExperiment",
+    "ErrorCampaign",
+    "Experiment",
+    "ExperimentResult",
+    "load_measurements",
+    "load_prediction_json",
+    "save_measurements",
+    "save_prediction_csv",
+    "save_prediction_json",
+    "save_table",
+]

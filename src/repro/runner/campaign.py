@@ -1,0 +1,140 @@
+"""Multi-workload measurement campaigns (the paper's Tables 4, 5 and 7).
+
+A campaign runs the same experiment over a list of workloads and collects the
+per-workload maximum prediction errors for one or more prediction targets —
+exactly the structure of Table 4 ("maximum prediction errors with measurements
+on one processor of each machine") and Table 7 (Xeon20-to-Xeon48).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core import EstimaConfig
+from repro.machine.machines import MachineSpec
+from repro.workloads.registry import TABLE4_WORKLOADS, get_workload
+
+from .experiment import Experiment, ExperimentResult
+
+__all__ = ["CampaignRow", "CampaignResult", "ErrorCampaign"]
+
+
+@dataclass(frozen=True)
+class CampaignRow:
+    """Per-workload error summary, one column per prediction target."""
+
+    workload: str
+    max_errors_pct: Mapping[str, float]  # target label -> max error (%)
+    baseline_errors_pct: Mapping[str, float]
+    behaviour_correct: bool
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All rows of one campaign plus aggregate statistics."""
+
+    machine: str
+    measurement_cores: int
+    rows: tuple[CampaignRow, ...]
+    target_labels: tuple[str, ...]
+
+    def errors_for(self, label: str) -> np.ndarray:
+        return np.asarray([row.max_errors_pct[label] for row in self.rows], dtype=float)
+
+    def average_error(self, label: str) -> float:
+        return float(np.mean(self.errors_for(label)))
+
+    def std_error(self, label: str) -> float:
+        return float(np.std(self.errors_for(label)))
+
+    def max_error(self, label: str) -> float:
+        return float(np.max(self.errors_for(label)))
+
+    def workloads_below(self, label: str, threshold_pct: float) -> int:
+        """How many workloads stay below an error threshold (paper's headline counts)."""
+        return int(np.sum(self.errors_for(label) < threshold_pct))
+
+    def all_behaviours_correct(self) -> bool:
+        """The paper's qualitative claim: no workload's behaviour is mispredicted."""
+        return all(row.behaviour_correct for row in self.rows)
+
+    def format_table(self, *, decimals: int = 1) -> str:
+        """Render a Table-4 style text table."""
+        header = f"{'Benchmark':<18s} " + "  ".join(f"{l:>10s}" for l in self.target_labels)
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            cells = "  ".join(
+                f"{row.max_errors_pct[l]:>10.{decimals}f}" for l in self.target_labels
+            )
+            lines.append(f"{row.workload:<18s} {cells}")
+        lines.append("-" * len(header))
+        for stat_name, stat in (
+            ("Average", self.average_error),
+            ("Std. Dev.", self.std_error),
+            ("Max.", self.max_error),
+        ):
+            cells = "  ".join(f"{stat(l):>10.{decimals}f}" for l in self.target_labels)
+            lines.append(f"{stat_name:<18s} {cells}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ErrorCampaign:
+    """Run ESTIMA over many workloads and several prediction targets."""
+
+    machine: MachineSpec
+    measurement_cores: int
+    targets: Mapping[str, int]  # label -> target core count
+    config: EstimaConfig = field(default_factory=EstimaConfig)
+    include_software_stalls: bool = True
+    core_counts: Sequence[int] | None = None
+
+    def run(self, workload_names: Iterable[str] | None = None) -> CampaignResult:
+        """Run the campaign; returns one row per workload."""
+        names = tuple(workload_names) if workload_names is not None else TABLE4_WORKLOADS
+        experiment = Experiment(
+            machine=self.machine,
+            config=self.config,
+            include_software_stalls=self.include_software_stalls,
+        )
+        rows: list[CampaignRow] = []
+        max_target = max(self.targets.values())
+        for name in names:
+            workload = get_workload(name)
+            result = experiment.run(
+                workload,
+                measurement_cores=self.measurement_cores,
+                target_cores=max_target,
+                core_counts=list(self.core_counts) if self.core_counts is not None else None,
+            )
+            errors: dict[str, float] = {}
+            baseline_errors: dict[str, float] = {}
+            for label, target in self.targets.items():
+                eval_cores = [
+                    int(c)
+                    for c in result.ground_truth.cores
+                    if self.measurement_cores < c <= target
+                ]
+                errors[label] = result.estima.evaluate(
+                    result.ground_truth, core_counts=eval_cores
+                ).max_error_pct
+                baseline_errors[label] = result.baseline.evaluate(
+                    result.ground_truth, core_counts=eval_cores
+                ).max_error_pct
+            rows.append(
+                CampaignRow(
+                    workload=name,
+                    max_errors_pct=errors,
+                    baseline_errors_pct=baseline_errors,
+                    behaviour_correct=result.scaling_behaviour_correct(),
+                )
+            )
+        return CampaignResult(
+            machine=self.machine.name,
+            measurement_cores=self.measurement_cores,
+            rows=tuple(rows),
+            target_labels=tuple(self.targets),
+        )

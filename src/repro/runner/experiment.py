@@ -1,0 +1,186 @@
+"""Single-workload measurement and prediction experiments.
+
+An :class:`Experiment` bundles the steps the paper repeats for every workload:
+
+1. simulate ("profile") the workload on a machine over a range of core counts,
+2. restrict the measurements to the measurement-machine window
+   (e.g. one socket),
+3. run ESTIMA and the time-extrapolation baseline,
+4. score both against the ground-truth runs on the full machine.
+
+Cross-machine experiments (measure on one machine, predict and validate on
+another — the memcached/SQLite setting) use :class:`CrossMachineExperiment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import (
+    EstimaConfig,
+    EstimaPredictor,
+    MeasurementSet,
+    PredictionError,
+    ScalabilityPrediction,
+    TimeExtrapolation,
+    TimeExtrapolationPrediction,
+)
+from repro.machine.machines import MachineSpec
+from repro.simulation import MachineSimulator
+from repro.workloads.base import Workload
+
+__all__ = ["ExperimentResult", "Experiment", "CrossMachineExperiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything one strong-scaling experiment produced."""
+
+    workload: str
+    machine: str
+    measurement_cores: int
+    target_cores: int
+    ground_truth: MeasurementSet
+    estima: ScalabilityPrediction
+    estima_error: PredictionError
+    baseline: TimeExtrapolationPrediction
+    baseline_error: PredictionError
+
+    @property
+    def actual_peak_cores(self) -> int:
+        """Core count with the lowest measured execution time."""
+        return int(self.ground_truth.cores[int(np.argmin(self.ground_truth.times))])
+
+    def scaling_behaviour_correct(self, *, tolerance: float = 0.10) -> bool:
+        """Whether ESTIMA predicted the right qualitative behaviour.
+
+        The paper's claim is that prediction errors never amount to predicting
+        a *different behaviour*: if the application stops scaling before the
+        target, the prediction must not say it keeps scaling (and vice versa).
+        Behaviour is judged at the measurement boundary with a tolerance on
+        what counts as further improvement.
+        """
+        boundary = self.measurement_cores
+        actual = self.ground_truth
+        later = [c for c in actual.cores if c > boundary]
+        if not later:
+            return True
+        boundary_time = actual.time_at(int(boundary)) if boundary in actual.cores else float(
+            actual.times[actual.cores <= boundary][-1]
+        )
+        best_later = float(min(actual.time_at(int(c)) for c in later))
+        actually_scales = best_later < boundary_time * (1.0 - tolerance)
+        predicted_scales = self.estima.predicts_scaling_beyond(boundary, tolerance=tolerance)
+        return actually_scales == predicted_scales
+
+
+@dataclass
+class Experiment:
+    """Strong-scaling prediction experiment on a single machine."""
+
+    machine: MachineSpec
+    config: EstimaConfig = field(default_factory=EstimaConfig)
+    include_software_stalls: bool = True
+
+    def ground_truth(
+        self, workload: Workload, *, core_counts: list[int] | None = None, dataset_scale: float = 1.0
+    ) -> MeasurementSet:
+        """Simulate the workload over the full machine (the validation data)."""
+        simulator = MachineSimulator(self.machine)
+        return simulator.sweep(
+            workload,
+            core_counts=core_counts,
+            dataset_scale=dataset_scale,
+            include_software=self.include_software_stalls,
+        )
+
+    def run(
+        self,
+        workload: Workload,
+        *,
+        measurement_cores: int,
+        target_cores: int | None = None,
+        core_counts: list[int] | None = None,
+        dataset_scale: float = 1.0,
+    ) -> ExperimentResult:
+        """Measure up to ``measurement_cores``, predict to ``target_cores``, validate."""
+        target = target_cores or self.machine.total_threads
+        truth = self.ground_truth(workload, core_counts=core_counts, dataset_scale=dataset_scale)
+        measured = truth.restrict_to(measurement_cores)
+
+        predictor = EstimaPredictor(self.config)
+        baseline = TimeExtrapolation(self.config)
+        estima_prediction = predictor.predict(measured, target_cores=target)
+        baseline_prediction = baseline.predict(measured, target_cores=target)
+
+        eval_cores = [int(c) for c in truth.cores if c > measurement_cores and c <= target]
+        estima_error = estima_prediction.evaluate(truth, core_counts=eval_cores)
+        baseline_error = baseline_prediction.evaluate(truth, core_counts=eval_cores)
+        return ExperimentResult(
+            workload=truth.workload,
+            machine=self.machine.name,
+            measurement_cores=measurement_cores,
+            target_cores=target,
+            ground_truth=truth,
+            estima=estima_prediction,
+            estima_error=estima_error,
+            baseline=baseline_prediction,
+            baseline_error=baseline_error,
+        )
+
+
+@dataclass
+class CrossMachineExperiment:
+    """Measure on a small machine, predict and validate on a bigger one.
+
+    Reproduces the Section 4.3 setting: memcached and SQLite measured on the
+    Haswell desktop, predicted for (and validated on) the Xeon20 server, with
+    measured times rescaled by the clock-frequency ratio.
+    """
+
+    measurement_machine: MachineSpec
+    target_machine: MachineSpec
+    include_software_stalls: bool = True
+
+    def run(
+        self,
+        workload: Workload,
+        *,
+        measurement_cores: int,
+        target_cores: int | None = None,
+        dataset_scale: float = 1.0,
+    ) -> ExperimentResult:
+        target = target_cores or self.target_machine.total_threads
+        config = EstimaConfig.for_cross_machine(
+            measurement_frequency_ghz=self.measurement_machine.frequency_ghz,
+            target_frequency_ghz=self.target_machine.frequency_ghz,
+        )
+
+        small = MachineSimulator(self.measurement_machine)
+        big = MachineSimulator(self.target_machine)
+        measured = small.sweep(
+            workload,
+            core_counts=[c for c in self.measurement_machine.core_counts() if c <= measurement_cores],
+            dataset_scale=dataset_scale,
+            include_software=self.include_software_stalls,
+        )
+        truth = big.sweep(
+            workload, dataset_scale=dataset_scale, include_software=self.include_software_stalls
+        )
+
+        estima_prediction = EstimaPredictor(config).predict(measured, target_cores=target)
+        baseline_prediction = TimeExtrapolation(config).predict(measured, target_cores=target)
+        eval_cores = [int(c) for c in truth.cores if c > measurement_cores and c <= target]
+        return ExperimentResult(
+            workload=truth.workload,
+            machine=self.target_machine.name,
+            measurement_cores=measurement_cores,
+            target_cores=target,
+            ground_truth=truth,
+            estima=estima_prediction,
+            estima_error=estima_prediction.evaluate(truth, core_counts=eval_cores),
+            baseline=baseline_prediction,
+            baseline_error=baseline_prediction.evaluate(truth, core_counts=eval_cores),
+        )

@@ -1,0 +1,108 @@
+"""Persistence of measurement sets, predictions and campaign tables.
+
+The original tool is file-oriented: it writes the collected counters per core
+count, reads them back for extrapolation, and emits prediction tables.  These
+helpers provide the same workflow on top of JSON and CSV so examples and
+benchmarks can save and reload their inputs and outputs.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.measurement import MeasurementSet
+from repro.core.result import ScalabilityPrediction
+
+__all__ = [
+    "save_measurements",
+    "load_measurements",
+    "save_prediction_csv",
+    "save_prediction_json",
+    "load_prediction_json",
+    "save_table",
+]
+
+
+def save_measurements(measurements: MeasurementSet, path: str | Path) -> Path:
+    """Write a measurement set to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    measurements.save(path)
+    return path
+
+
+def load_measurements(path: str | Path) -> MeasurementSet:
+    """Read a measurement set previously written by :func:`save_measurements`."""
+    return MeasurementSet.load(path)
+
+
+def save_prediction_csv(prediction: ScalabilityPrediction, path: str | Path) -> Path:
+    """Write predicted times (and stalls per core) as a CSV table."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["cores", "predicted_time_s", "stalls_per_core"])
+        for i, cores in enumerate(prediction.prediction_cores):
+            writer.writerow(
+                [int(cores), float(prediction.predicted_times[i]), float(prediction.stalls_per_core[i])]
+            )
+    return path
+
+
+def save_prediction_json(prediction: ScalabilityPrediction, path: str | Path) -> Path:
+    """Write a prediction summary (times, per-category kernels) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "workload": prediction.workload,
+        "machine": prediction.machine,
+        "target_cores": prediction.target_cores,
+        "measured_cores": [int(c) for c in prediction.measured.cores],
+        "prediction_cores": [int(c) for c in prediction.prediction_cores],
+        "predicted_times": [float(t) for t in prediction.predicted_times],
+        "stalls_per_core": [float(s) for s in prediction.stalls_per_core],
+        "scaling_factor_kernel": prediction.scaling_factor.kernel_name,
+        "scaling_factor_correlation": prediction.scaling_factor.correlation,
+        "category_kernels": {
+            name: result.kernel_name
+            for name, result in prediction.category_extrapolations.items()
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_prediction_json(path: str | Path) -> dict:
+    """Load a prediction summary written by :func:`save_prediction_json`."""
+    return json.loads(Path(path).read_text())
+
+
+def save_table(rows: Iterable[Mapping[str, object]], path: str | Path) -> Path:
+    """Write a list of homogeneous dict rows as CSV (campaign tables)."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("cannot save an empty table")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames = list(rows[0].keys())
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: _plain(v) for k, v in row.items()})
+    return path
+
+
+def _plain(value: object) -> object:
+    """Convert numpy scalars to built-ins for the csv module."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value

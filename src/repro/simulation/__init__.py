@@ -1,0 +1,12 @@
+"""Composition layer: run workloads on simulated machines.
+
+The simulator stands in for the paper's real testbeds: it produces, for each
+(workload, machine, thread count) triple, the execution time and the stalled
+cycle counters that ESTIMA would otherwise obtain from hardware performance
+counters and instrumented runtimes.
+"""
+
+from .result import SimulationDetails, SimulationResult
+from .simulator import MachineSimulator
+
+__all__ = ["MachineSimulator", "SimulationDetails", "SimulationResult"]

@@ -1,0 +1,79 @@
+"""Simulation outputs.
+
+A :class:`SimulationResult` is the simulator's equivalent of one profiled run:
+execution time plus hardware/software/frontend stall counters, in exactly the
+shape :class:`repro.core.measurement.Measurement` expects.  The ``details``
+block keeps intermediate model quantities (abort probability, bandwidth
+utilisation, ...) for tests and bottleneck analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.measurement import Measurement
+
+__all__ = ["SimulationDetails", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimulationDetails:
+    """Intermediate quantities of one simulated run (diagnostics only)."""
+
+    useful_cycles_per_op: float
+    backend_stall_cycles_per_op: float
+    software_stall_cycles_per_op: float
+    cycles_per_op: float
+    cache_miss_fraction: float
+    coherence_fraction: float
+    memory_latency_cycles: float
+    bandwidth_utilisation: float
+    remote_access_fraction: float
+    stm_abort_probability: float
+    lock_utilisation: float
+    sockets_used: int
+    chips_used: int
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """One simulated profiled run of a workload at a fixed thread count."""
+
+    workload: str
+    machine: str
+    threads: int
+    dataset_scale: float
+    time: float
+    hardware_stalls: Mapping[str, float]
+    software_stalls: Mapping[str, float]
+    frontend_stalls: Mapping[str, float]
+    memory_footprint_mb: float
+    details: SimulationDetails
+
+    def total_hardware_stalls(self) -> float:
+        return float(sum(self.hardware_stalls.values()))
+
+    def total_software_stalls(self) -> float:
+        return float(sum(self.software_stalls.values()))
+
+    def stalls_per_core(self, *, software: bool = True) -> float:
+        total = self.total_hardware_stalls()
+        if software:
+            total += self.total_software_stalls()
+        return total / self.threads
+
+    def to_measurement(self, *, include_software: bool = True) -> Measurement:
+        """Convert to the ESTIMA input format.
+
+        ``include_software=False`` models a run where no runtime reported
+        software stalls (the paper's default hardware-only mode).
+        """
+        return Measurement(
+            cores=self.threads,
+            time=self.time,
+            hardware_stalls=dict(self.hardware_stalls),
+            software_stalls=dict(self.software_stalls) if include_software else {},
+            frontend_stalls=dict(self.frontend_stalls),
+            memory_footprint_mb=self.memory_footprint_mb,
+        )

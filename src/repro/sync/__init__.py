@@ -1,0 +1,29 @@
+"""Synchronization substrates: the software-stall sources of the paper.
+
+Each model converts a synchronization profile (how often a workload locks,
+crosses barriers, runs transactions, retries CAS) plus a thread count into a
+:class:`~repro.sync.stats.SyncCost`: cycles per operation of pure waiting or
+discarded work (the software stalls ESTIMA optionally consumes), extra
+coherence traffic, and serialized cycles.
+"""
+
+from .barrier import BarrierModel
+from .lockfree import LockFreeModel
+from .mutex import MutexModel
+from .pthread_wrapper import PthreadWrapperReport, default_plugins_config, render_report
+from .spinlock import SpinlockModel
+from .stats import SyncCost, combine_costs
+from .stm import StmModel
+
+__all__ = [
+    "BarrierModel",
+    "LockFreeModel",
+    "MutexModel",
+    "PthreadWrapperReport",
+    "SpinlockModel",
+    "StmModel",
+    "SyncCost",
+    "combine_costs",
+    "default_plugins_config",
+    "render_report",
+]

@@ -1,0 +1,104 @@
+"""Barrier synchronization model.
+
+Barrier-structured applications (streamcluster, bodytrack, canneal phases)
+lose time in two ways that both grow with the thread count:
+
+* **Imbalance** — every thread waits for the slowest one.  With per-thread
+  phase times fluctuating with coefficient of variation ``cv``, the expected
+  maximum of ``n`` samples exceeds the mean by roughly ``cv * sqrt(2 ln n)``
+  (Gumbel approximation), so waiting grows logarithmically even for perfectly
+  partitioned work.
+* **Entry/exit cost** — the barrier itself is a shared counter (or, in stock
+  PARSEC, a mutex + condition variable or a trylock loop), so each crossing
+  costs cache-line transfers proportional to the number of participants.
+
+Both components are reported as ``barrier_wait_cycles`` software stalls, which
+is exactly what the paper's thin pthread wrapper measures for streamcluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .stats import SyncCost
+
+__all__ = ["BarrierModel"]
+
+_LINE_TRANSFER_CYCLES = 60.0
+
+
+@dataclass(frozen=True)
+class BarrierModel:
+    """Cost model of a centralized barrier.
+
+    Attributes
+    ----------
+    barriers_per_op:
+        Barrier crossings per application operation (usually well below 1:
+        one barrier per phase of many operations).
+    phase_cycles_per_op:
+        Cycles of work between consecutive barriers, expressed per operation.
+    imbalance_cv:
+        Coefficient of variation of per-thread phase durations.
+    trylock_based:
+        Stock PARSEC barriers loop on ``pthread_mutex_trylock``; this roughly
+        triples the crossing cost and is what the Section 4.6 fix removes.
+    trylock_storm:
+        How strongly the trylock retries compound with the participant count
+        (the quadratic term of the crossing cost).  Only used when
+        ``trylock_based`` is set.
+    """
+
+    barriers_per_op: float
+    phase_cycles_per_op: float
+    imbalance_cv: float = 0.1
+    trylock_based: bool = False
+    trylock_storm: float = 0.06
+
+    def __post_init__(self) -> None:
+        if self.barriers_per_op < 0:
+            raise ValueError("barriers_per_op must be non-negative")
+        if self.phase_cycles_per_op < 0:
+            raise ValueError("phase_cycles_per_op must be non-negative")
+        if self.imbalance_cv < 0:
+            raise ValueError("imbalance_cv must be non-negative")
+        if self.trylock_storm < 0:
+            raise ValueError("trylock_storm must be non-negative")
+
+    def expected_wait_fraction(self, threads: int) -> float:
+        """Expected extra wait as a fraction of the phase length (max of n)."""
+        if threads <= 1:
+            return 0.0
+        return float(self.imbalance_cv * np.sqrt(2.0 * np.log(threads)))
+
+    def crossing_cycles(self, threads: int) -> float:
+        """Cycles one thread spends inside the barrier protocol itself."""
+        if threads <= 1:
+            return 0.0
+        per_arrival = _LINE_TRANSFER_CYCLES * threads
+        if self.trylock_based:
+            # Every waiter keeps re-trying the mutex while the stragglers
+            # arrive, so the protocol cost grows quadratically with the
+            # participant count instead of linearly.
+            per_arrival *= 3.0 * (1.0 + self.trylock_storm * threads)
+        return float(per_arrival)
+
+    def cost(self, threads: int, work_cycles_per_op: float) -> SyncCost:
+        """Per-operation barrier cost at ``threads`` threads."""
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        del work_cycles_per_op  # the phase length is part of the profile
+        if threads == 1 or self.barriers_per_op == 0.0:
+            return SyncCost(software_stall_cycles={"barrier_wait_cycles": 0.0})
+
+        imbalance_wait = self.phase_cycles_per_op * self.expected_wait_fraction(threads)
+        protocol = self.barriers_per_op * self.crossing_cycles(threads)
+        total = imbalance_wait + protocol
+        coherence = self.barriers_per_op * threads * 0.5
+        return SyncCost(
+            software_stall_cycles={"barrier_wait_cycles": float(total)},
+            extra_coherence_accesses=float(coherence),
+            serialized_cycles=0.0,
+        )

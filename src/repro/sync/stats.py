@@ -1,0 +1,62 @@
+"""Containers for software-stall accounting.
+
+Every synchronization model in :mod:`repro.sync` reports its overhead as a
+:class:`SyncCost`: cycles per operation that a thread spends *not* making
+application progress (spinning, blocked, re-executing aborted transactions),
+plus the extra coherence traffic the synchronization itself injects into the
+memory system.  The simulator turns the former into software-stall counters
+(the paper's optional plugin-supplied categories) and folds the latter into
+the hardware stall decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SyncCost", "combine_costs"]
+
+
+@dataclass(frozen=True)
+class SyncCost:
+    """Per-operation cost of a synchronization mechanism at a given thread count.
+
+    Attributes
+    ----------
+    software_stall_cycles:
+        Cycles per operation spent in pure waiting / discarded work, keyed by
+        the category name under which the runtime would report them (e.g.
+        ``"lock_spin_cycles"``, ``"stm_aborted_tx_cycles"``).
+    extra_coherence_accesses:
+        Additional shared-line transfers per operation caused by the
+        synchronization protocol itself (lock cache-line ping-pong, STM
+        metadata).  These show up as hardware memory-latency stalls.
+    serialized_cycles:
+        Cycles per operation that are executed strictly serially (inside the
+        critical section / commit); they bound the achievable throughput
+        regardless of thread count.
+    """
+
+    software_stall_cycles: dict[str, float] = field(default_factory=dict)
+    extra_coherence_accesses: float = 0.0
+    serialized_cycles: float = 0.0
+
+    @property
+    def total_software_cycles(self) -> float:
+        return float(sum(self.software_stall_cycles.values()))
+
+
+def combine_costs(*costs: SyncCost) -> SyncCost:
+    """Sum several synchronization costs (a workload may use locks *and* barriers)."""
+    merged: dict[str, float] = {}
+    coherence = 0.0
+    serialized = 0.0
+    for cost in costs:
+        for name, value in cost.software_stall_cycles.items():
+            merged[name] = merged.get(name, 0.0) + value
+        coherence += cost.extra_coherence_accesses
+        serialized += cost.serialized_cycles
+    return SyncCost(
+        software_stall_cycles=merged,
+        extra_coherence_accesses=coherence,
+        serialized_cycles=serialized,
+    )

@@ -1,0 +1,64 @@
+"""Workload models: the 21 evaluation workloads plus the production applications.
+
+Each workload describes its machine-independent demands (instruction mix,
+working sets, sharing, synchronization); the simulator turns them into the
+stall counters and execution times ESTIMA consumes.  Use the registry to look
+workloads up by the names the paper's tables use.
+"""
+
+from .base import Workload, WorkloadProfile
+from .knn import Knn
+from .memcached import Memcached
+from .micro import (
+    LockBasedHashTable,
+    LockBasedSkipList,
+    LockFreeHashTable,
+    LockFreeSkipList,
+)
+from .parsec import Blackscholes, Bodytrack, Canneal, Raytrace, Streamcluster, Swaptions
+from .registry import (
+    PRODUCTION_WORKLOADS,
+    SOFTWARE_STALL_WORKLOADS,
+    STM_WORKLOADS,
+    TABLE4_WORKLOADS,
+    WORKLOADS,
+    get_workload,
+    iter_workloads,
+    workload_names,
+)
+from .sqlite_tpcc import SqliteTpcc
+from .stamp import Genome, Intruder, Kmeans, Labyrinth, Ssca2, VacationHigh, VacationLow, Yada
+
+__all__ = [
+    "Blackscholes",
+    "Bodytrack",
+    "Canneal",
+    "Genome",
+    "Intruder",
+    "Kmeans",
+    "Knn",
+    "Labyrinth",
+    "LockBasedHashTable",
+    "LockBasedSkipList",
+    "LockFreeHashTable",
+    "LockFreeSkipList",
+    "Memcached",
+    "PRODUCTION_WORKLOADS",
+    "Raytrace",
+    "SOFTWARE_STALL_WORKLOADS",
+    "STM_WORKLOADS",
+    "SqliteTpcc",
+    "Ssca2",
+    "Streamcluster",
+    "Swaptions",
+    "TABLE4_WORKLOADS",
+    "VacationHigh",
+    "VacationLow",
+    "WORKLOADS",
+    "Workload",
+    "WorkloadProfile",
+    "Yada",
+    "get_workload",
+    "iter_workloads",
+    "workload_names",
+]

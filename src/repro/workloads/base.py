@@ -1,0 +1,151 @@
+"""Workload abstraction consumed by the machine simulator.
+
+A workload is described by *what it demands* from the machine, independent of
+any particular machine: an instruction mix, working-set sizes, how much of its
+data is shared and written, an Amdahl serial fraction, and the synchronization
+mechanisms it uses (locks, barriers, STM, lock-free retries).  The simulator
+(:mod:`repro.simulation`) composes a :class:`WorkloadProfile` with a
+:class:`~repro.machine.machines.MachineSpec` to produce stall counters and
+execution times — the data ESTIMA would collect with ``perf`` on a real system.
+
+Concrete workloads (the 21 applications of the evaluation plus memcached and
+SQLite) live in the sibling modules and are calibrated to the qualitative
+behaviour the paper reports: which applications keep scaling, which collapse,
+and which stall categories dominate when they do.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field, replace
+
+from repro.machine.pipeline import InstructionMix
+from repro.sync import BarrierModel, LockFreeModel, MutexModel, SpinlockModel, StmModel
+
+__all__ = ["WorkloadProfile", "Workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Machine-independent description of one workload configuration.
+
+    Attributes
+    ----------
+    name:
+        Workload identifier (registry key).
+    total_ops:
+        Total application operations in one run (strong scaling keeps this
+        fixed as threads are added; weak scaling multiplies it via
+        ``dataset_scale``).
+    mix:
+        Per-operation instruction profile.
+    private_working_set_mb:
+        Data partitioned across threads (each thread touches its share).
+    shared_working_set_mb:
+        Data every thread touches.
+    shared_access_fraction:
+        Fraction of memory references that hit shared data.
+    shared_write_fraction:
+        Of those, the fraction that are writes (drives coherence misses).
+    serial_fraction:
+        Amdahl fraction of the work executed by a single thread.
+    locks / barrier / stm / lockfree:
+        Synchronization profiles; ``None`` when the mechanism is not used.
+    partitioned_private:
+        Whether the private working set divides across threads (true for data
+        parallel codes) or is replicated per thread.
+    locality:
+        Fraction of memory references absorbed by the private cache levels
+        thanks to temporal locality, independent of the dataset size
+        (0.99+ for streaming compute kernels, ~0.9 for pointer-chasing codes
+        with poor locality such as canneal).
+    icache_miss_rate:
+        Instruction-cache miss rate (frontend stalls; flat in core count).
+    noise_level:
+        Relative run-to-run fluctuation of this application (kmeans is noisy,
+        blackscholes is not); the simulator uses it as the sigma of a
+        deterministic multiplicative jitter.
+    software_stall_report:
+        Whether the runtime of this workload can report software stalls
+        (STM statistics, pthread-wrapper output).
+    """
+
+    name: str
+    total_ops: float
+    mix: InstructionMix
+    private_working_set_mb: float
+    shared_working_set_mb: float
+    shared_access_fraction: float
+    shared_write_fraction: float
+    serial_fraction: float = 0.0
+    locks: SpinlockModel | MutexModel | None = None
+    barrier: BarrierModel | None = None
+    stm: StmModel | None = None
+    lockfree: LockFreeModel | None = None
+    partitioned_private: bool = True
+    locality: float = 0.97
+    icache_miss_rate: float = 0.002
+    noise_level: float = 0.01
+    software_stall_report: bool = False
+
+    def __post_init__(self) -> None:
+        if self.total_ops <= 0:
+            raise ValueError("total_ops must be positive")
+        if self.private_working_set_mb < 0 or self.shared_working_set_mb < 0:
+            raise ValueError("working sets must be non-negative")
+        for name in ("shared_access_fraction", "shared_write_fraction", "serial_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+        if not 0.0 <= self.locality <= 1.0:
+            raise ValueError("locality must be within [0, 1]")
+        if self.icache_miss_rate < 0 or self.icache_miss_rate > 1:
+            raise ValueError("icache_miss_rate must be within [0, 1]")
+        if self.noise_level < 0:
+            raise ValueError("noise_level must be non-negative")
+
+    def sync_models(self) -> tuple:
+        """The synchronization models this workload uses (may be empty)."""
+        return tuple(
+            model for model in (self.locks, self.barrier, self.stm, self.lockfree) if model is not None
+        )
+
+    def with_(self, **changes) -> "WorkloadProfile":
+        """Copy with fields replaced (used by optimized variants and sweeps)."""
+        return replace(self, **changes)
+
+    @property
+    def total_working_set_mb(self) -> float:
+        return self.private_working_set_mb + self.shared_working_set_mb
+
+
+class Workload(ABC):
+    """A named application whose demands may depend on the dataset size."""
+
+    #: Registry key; concrete classes override.
+    name: str = ""
+    #: Benchmark suite ("stamp", "parsec", "micro", "production", "kernel").
+    suite: str = ""
+    #: Short description shown by the registry and examples.
+    description: str = ""
+
+    @abstractmethod
+    def profile(self, dataset_scale: float = 1.0) -> WorkloadProfile:
+        """Build the demand profile at the given dataset scale.
+
+        ``dataset_scale`` multiplies the default dataset (1.0 = the paper's
+        default input); weak-scaling experiments pass 2.0.
+        """
+
+    @property
+    def uses_stm(self) -> bool:
+        """Whether the workload synchronizes with software transactional memory."""
+        return self.profile().stm is not None
+
+    @property
+    def reports_software_stalls(self) -> bool:
+        """Whether a software-stall report (plugin input) is available."""
+        return self.profile().software_stall_report
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Workload {self.name} ({self.suite})>"

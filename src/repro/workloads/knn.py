@@ -1,0 +1,59 @@
+"""K-nearest-neighbours calculation kernel.
+
+The paper uses a modified KNN kernel (the distance-computation core of a
+recommender system), written in Java and compiled with GCJ.  Threads compute
+distances between a query set and a large reference set partitioned across
+them, then merge the per-thread top-k lists under a short lock.  The kernel is
+compute-bound with a streaming access pattern; the merge lock and the memory
+bandwidth of the reference matrix are the only scalability costs.  The paper's
+errors are 11-32% (the top-k merge grows with the thread count).
+
+Work grows super-linearly with the dataset (all query-reference pairs), which
+the profile models with a dataset exponent of 2 on the operation count.
+"""
+
+from __future__ import annotations
+
+from repro.sync import SpinlockModel
+from repro.workloads.base import Workload, WorkloadProfile
+from repro.workloads.profiles import compute_mix, scaled_ops
+
+__all__ = ["Knn"]
+
+
+class Knn(Workload):
+    """Distance-computation KNN kernel with a locked top-k merge."""
+
+    name = "knn"
+    suite = "kernel"
+    description = "k-nearest-neighbours distance kernel with locked top-k merge"
+
+    def profile(self, dataset_scale: float = 1.0) -> WorkloadProfile:
+        return WorkloadProfile(
+            name=self.name,
+            total_ops=scaled_ops(7.0e6, dataset_scale, exponent=2.0),
+            mix=compute_mix(
+                instructions_per_op=1600.0,
+                flop_fraction=0.40,
+                branch_fraction=0.06,
+                branch_miss_rate=0.015,
+                mem_refs_per_op=420.0,
+                store_fraction=0.10,
+                base_ipc=1.9,
+                mlp=3.5,
+            ),
+            private_working_set_mb=40.0 * dataset_scale,
+            shared_working_set_mb=150.0 * dataset_scale,
+            shared_access_fraction=0.35,
+            shared_write_fraction=0.03,
+            serial_fraction=0.004,
+            locality=0.99,
+            locks=SpinlockModel(
+                acquires_per_op=0.02,
+                critical_section_cycles=350.0,
+                num_locks=1,
+                kind="ticket",
+            ),
+            noise_level=0.015,
+            software_stall_report=False,
+        )

@@ -1,0 +1,17 @@
+"""Concurrent data-structure microbenchmarks.
+
+The paper's evaluation includes four standard data-structure microbenchmarks
+(also used in the "Why STM can be more than a research toy" study): hash table
+and skip list, each in a lock-based and a lock-free variant, exercised with a
+mixed search/insert/remove workload.
+"""
+
+from .hashtable import LockBasedHashTable, LockFreeHashTable
+from .skiplist import LockBasedSkipList, LockFreeSkipList
+
+__all__ = [
+    "LockBasedHashTable",
+    "LockBasedSkipList",
+    "LockFreeHashTable",
+    "LockFreeSkipList",
+]

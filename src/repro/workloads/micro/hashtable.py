@@ -1,0 +1,93 @@
+"""Concurrent hash-table microbenchmarks (lock-based and lock-free).
+
+Threads perform a mixed workload of lookups, inserts and removals on a shared
+hash table pre-filled to a fixed size.  Operations are short and uniformly
+distributed over the buckets, so:
+
+* the **lock-based** variant (one spinlock per bucket stripe) only contends
+  when two threads hit the same stripe — it scales well until the stripes
+  saturate, with some cache-line ping-pong on updates;
+* the **lock-free** variant replaces the stripe locks with per-bucket CAS; it
+  has the smallest errors in the whole evaluation (3-16%) and scales almost
+  perfectly.
+"""
+
+from __future__ import annotations
+
+from repro.sync import LockFreeModel, SpinlockModel
+from repro.workloads.base import Workload, WorkloadProfile
+from repro.workloads.profiles import memory_mix, scaled_ops
+
+__all__ = ["LockBasedHashTable", "LockFreeHashTable"]
+
+_UPDATE_FRACTION = 0.2  # 10% inserts + 10% removes, 80% lookups
+
+
+class LockBasedHashTable(Workload):
+    """Hash table protected by striped spinlocks."""
+
+    name = "lock_based_ht"
+    suite = "micro"
+    description = "Concurrent hash table with striped spinlocks, 20% updates"
+
+    def profile(self, dataset_scale: float = 1.0) -> WorkloadProfile:
+        return WorkloadProfile(
+            name=self.name,
+            total_ops=scaled_ops(2.0e7, dataset_scale),
+            mix=memory_mix(
+                instructions_per_op=380.0,
+                mem_refs_per_op=120.0,
+                store_fraction=0.15,
+                base_ipc=1.6,
+                mlp=2.5,
+            ),
+            private_working_set_mb=1.0,
+            shared_working_set_mb=64.0 * dataset_scale,
+            shared_access_fraction=0.85,
+            shared_write_fraction=_UPDATE_FRACTION * 0.5,
+            serial_fraction=0.0,
+            locality=0.97,
+            locks=SpinlockModel(
+                acquires_per_op=1.0,
+                critical_section_cycles=90.0,
+                num_locks=512,
+                kind="ttas",
+            ),
+            noise_level=0.012,
+            software_stall_report=True,
+        )
+
+
+class LockFreeHashTable(Workload):
+    """Hash table with per-bucket CAS updates (no locks)."""
+
+    name = "lock_free_ht"
+    suite = "micro"
+    description = "Lock-free concurrent hash table, 20% updates"
+
+    def profile(self, dataset_scale: float = 1.0) -> WorkloadProfile:
+        return WorkloadProfile(
+            name=self.name,
+            total_ops=scaled_ops(2.0e7, dataset_scale),
+            mix=memory_mix(
+                instructions_per_op=360.0,
+                mem_refs_per_op=110.0,
+                store_fraction=0.12,
+                base_ipc=1.7,
+                mlp=2.5,
+            ),
+            private_working_set_mb=1.0,
+            shared_working_set_mb=64.0 * dataset_scale,
+            shared_access_fraction=0.85,
+            shared_write_fraction=_UPDATE_FRACTION * 0.4,
+            serial_fraction=0.0,
+            locality=0.97,
+            lockfree=LockFreeModel(
+                cas_per_op=_UPDATE_FRACTION,
+                retry_body_cycles=150.0,
+                hot_locations=8192.0 * dataset_scale,
+                update_fraction=1.0,
+            ),
+            noise_level=0.01,
+            software_stall_report=True,
+        )

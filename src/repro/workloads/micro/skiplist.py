@@ -1,0 +1,93 @@
+"""Concurrent skip-list microbenchmarks (lock-based and lock-free).
+
+Same mixed search/insert/remove workload as the hash-table benchmarks, but on
+an ordered skip list.  Traversals are longer (O(log n) pointer chases through
+poorly cached tower nodes) and updates touch several levels, so:
+
+* the **lock-based** variant (lazy locking of the affected towers) pays
+  noticeable lock handoff costs as updates climb the towers, which is why the
+  paper's errors for it are the largest of the four microbenchmarks;
+* the **lock-free** variant retries CAS per level; it scales well but its
+  longer retry bodies make it more sensitive to contention than the hash
+  table.
+"""
+
+from __future__ import annotations
+
+from repro.sync import LockFreeModel, SpinlockModel
+from repro.workloads.base import Workload, WorkloadProfile
+from repro.workloads.profiles import memory_mix, scaled_ops
+
+__all__ = ["LockBasedSkipList", "LockFreeSkipList"]
+
+_UPDATE_FRACTION = 0.2
+
+
+class LockBasedSkipList(Workload):
+    """Skip list with lazy per-tower locking."""
+
+    name = "lock_based_sl"
+    suite = "micro"
+    description = "Concurrent skip list with lazy tower locking, 20% updates"
+
+    def profile(self, dataset_scale: float = 1.0) -> WorkloadProfile:
+        return WorkloadProfile(
+            name=self.name,
+            total_ops=scaled_ops(1.2e7, dataset_scale),
+            mix=memory_mix(
+                instructions_per_op=900.0,
+                mem_refs_per_op=300.0,
+                store_fraction=0.12,
+                base_ipc=1.3,
+                mlp=1.8,
+            ),
+            private_working_set_mb=1.0,
+            shared_working_set_mb=96.0 * dataset_scale,
+            shared_access_fraction=0.90,
+            shared_write_fraction=_UPDATE_FRACTION * 0.6,
+            serial_fraction=0.0,
+            locality=0.955,
+            locks=SpinlockModel(
+                acquires_per_op=_UPDATE_FRACTION * 3.0,  # levels touched per update
+                critical_section_cycles=140.0,
+                num_locks=256,
+                kind="ttas",
+            ),
+            noise_level=0.02,
+            software_stall_report=True,
+        )
+
+
+class LockFreeSkipList(Workload):
+    """Skip list with per-level CAS updates."""
+
+    name = "lock_free_sl"
+    suite = "micro"
+    description = "Lock-free concurrent skip list, 20% updates"
+
+    def profile(self, dataset_scale: float = 1.0) -> WorkloadProfile:
+        return WorkloadProfile(
+            name=self.name,
+            total_ops=scaled_ops(1.2e7, dataset_scale),
+            mix=memory_mix(
+                instructions_per_op=850.0,
+                mem_refs_per_op=280.0,
+                store_fraction=0.10,
+                base_ipc=1.4,
+                mlp=1.8,
+            ),
+            private_working_set_mb=1.0,
+            shared_working_set_mb=96.0 * dataset_scale,
+            shared_access_fraction=0.90,
+            shared_write_fraction=_UPDATE_FRACTION * 0.5,
+            serial_fraction=0.0,
+            locality=0.955,
+            lockfree=LockFreeModel(
+                cas_per_op=_UPDATE_FRACTION * 3.0,
+                retry_body_cycles=450.0,
+                hot_locations=4096.0 * dataset_scale,
+                update_fraction=1.0,
+            ),
+            noise_level=0.018,
+            software_stall_report=True,
+        )

@@ -1,0 +1,24 @@
+"""PARSEC benchmark suite models.
+
+Six PARSEC applications appear in the paper's evaluation.  They synchronize
+with stock pthread primitives (mutexes, condition variables, barriers); for
+streamcluster the paper additionally measures software stalls through a thin
+pthread wrapper, which is how the barrier/trylock bottleneck of Section 4.6 is
+found.
+"""
+
+from .blackscholes import Blackscholes
+from .bodytrack import Bodytrack
+from .canneal import Canneal
+from .raytrace import Raytrace
+from .streamcluster import Streamcluster
+from .swaptions import Swaptions
+
+__all__ = [
+    "Blackscholes",
+    "Bodytrack",
+    "Canneal",
+    "Raytrace",
+    "Streamcluster",
+    "Swaptions",
+]

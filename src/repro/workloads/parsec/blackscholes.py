@@ -1,0 +1,48 @@
+"""``blackscholes`` — option pricing with the Black-Scholes PDE (PARSEC).
+
+Each thread prices an independent slice of a portfolio of European options;
+there is no shared mutable state and only a join at the end, making this the
+canonical embarrassingly parallel, FP-heavy benchmark.  The paper uses it
+(Figure 2) as an example of an application whose stalled cycles per core and
+execution time correlate perfectly and whose scalability is easy to predict
+(errors of a few percent).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadProfile
+from repro.workloads.profiles import compute_mix, scaled_ops
+
+__all__ = ["Blackscholes"]
+
+
+class Blackscholes(Workload):
+    """Embarrassingly parallel FP option pricing; scales near-linearly."""
+
+    name = "blackscholes"
+    suite = "parsec"
+    description = "Black-Scholes option pricing; embarrassingly parallel FP kernel (PARSEC)"
+
+    def profile(self, dataset_scale: float = 1.0) -> WorkloadProfile:
+        return WorkloadProfile(
+            name=self.name,
+            total_ops=scaled_ops(8.0e6, dataset_scale),
+            mix=compute_mix(
+                instructions_per_op=1400.0,
+                flop_fraction=0.45,
+                branch_fraction=0.05,
+                branch_miss_rate=0.01,
+                mem_refs_per_op=180.0,
+                store_fraction=0.15,
+                base_ipc=2.2,
+                mlp=4.0,
+            ),
+            private_working_set_mb=60.0 * dataset_scale,
+            shared_working_set_mb=0.5,
+            shared_access_fraction=0.01,
+            shared_write_fraction=0.01,
+            serial_fraction=0.001,
+            locality=0.995,
+            noise_level=0.008,
+            software_stall_report=False,
+        )

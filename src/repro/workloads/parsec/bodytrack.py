@@ -1,0 +1,53 @@
+"""``bodytrack`` — computer-vision body tracking (PARSEC).
+
+Tracks a human body through a sequence of camera frames with an annealed
+particle filter.  Each annealing layer is a data-parallel particle evaluation
+followed by a barrier and a short sequential resampling step; the image data
+is shared read-only.  Scaling is good but not perfect (the sequential
+resampling and the per-layer barriers), matching the paper's 1-9% errors.
+"""
+
+from __future__ import annotations
+
+from repro.sync import BarrierModel
+from repro.workloads.base import Workload, WorkloadProfile
+from repro.workloads.profiles import compute_mix, scaled_ops
+
+__all__ = ["Bodytrack"]
+
+
+class Bodytrack(Workload):
+    """Annealed particle filter; data-parallel layers with barriers."""
+
+    name = "bodytrack"
+    suite = "parsec"
+    description = "Annealed particle-filter body tracking; barrier-separated layers (PARSEC)"
+
+    def profile(self, dataset_scale: float = 1.0) -> WorkloadProfile:
+        return WorkloadProfile(
+            name=self.name,
+            total_ops=scaled_ops(5.0e6, dataset_scale),
+            mix=compute_mix(
+                instructions_per_op=2600.0,
+                flop_fraction=0.35,
+                branch_fraction=0.10,
+                branch_miss_rate=0.02,
+                mem_refs_per_op=650.0,
+                store_fraction=0.20,
+                base_ipc=1.9,
+                mlp=3.0,
+            ),
+            private_working_set_mb=12.0 * dataset_scale,
+            shared_working_set_mb=90.0 * dataset_scale,
+            shared_access_fraction=0.30,
+            shared_write_fraction=0.02,
+            serial_fraction=0.015,
+            locality=0.99,
+            barrier=BarrierModel(
+                barriers_per_op=0.004,
+                phase_cycles_per_op=2800.0,
+                imbalance_cv=0.12,
+            ),
+            noise_level=0.012,
+            software_stall_report=True,
+        )

@@ -1,0 +1,52 @@
+"""``canneal`` — simulated annealing for chip routing cost (PARSEC).
+
+Threads repeatedly pick two netlist elements and swap their locations if the
+routing cost improves, using lock-free atomic pointer swaps over a netlist far
+larger than any cache.  The workload is dominated by cache misses to the
+shared netlist (very low locality), with a small CAS retry cost on conflicting
+swaps; it scales acceptably but is memory-latency bound.  Paper errors: 6-12%.
+"""
+
+from __future__ import annotations
+
+from repro.sync import LockFreeModel
+from repro.workloads.base import Workload, WorkloadProfile
+from repro.workloads.profiles import memory_mix, scaled_ops
+
+__all__ = ["Canneal"]
+
+
+class Canneal(Workload):
+    """Cache-unfriendly simulated annealing with lock-free element swaps."""
+
+    name = "canneal"
+    suite = "parsec"
+    description = "Simulated annealing over a huge netlist; lock-free swaps (PARSEC)"
+
+    def profile(self, dataset_scale: float = 1.0) -> WorkloadProfile:
+        return WorkloadProfile(
+            name=self.name,
+            total_ops=scaled_ops(5.5e6, dataset_scale),
+            mix=memory_mix(
+                instructions_per_op=1500.0,
+                mem_refs_per_op=600.0,
+                store_fraction=0.25,
+                flop_fraction=0.05,
+                base_ipc=1.2,
+                mlp=2.0,
+            ),
+            private_working_set_mb=4.0,
+            shared_working_set_mb=1200.0 * dataset_scale,
+            shared_access_fraction=0.70,
+            shared_write_fraction=0.04,
+            serial_fraction=0.003,
+            locality=0.9,
+            lockfree=LockFreeModel(
+                cas_per_op=2.0,
+                retry_body_cycles=600.0,
+                hot_locations=80000.0 * dataset_scale,
+                update_fraction=0.8,
+            ),
+            noise_level=0.015,
+            software_stall_report=False,
+        )

@@ -1,0 +1,112 @@
+"""Shared building blocks for workload definitions.
+
+Every concrete workload builds a :class:`~repro.workloads.base.WorkloadProfile`
+from a handful of numbers: how many operations a run performs, the per-
+operation instruction mix, working-set sizes, sharing behaviour, and the
+synchronization profile.  The helpers here keep those definitions compact and
+uniform across the 21 workloads, and document the calibration conventions:
+
+* ``total_ops`` is sized so a single-core run takes a few seconds on the
+  2-3 GHz machines of the paper (the paper's inputs do the same);
+* datasets scale working sets *and* operation counts linearly with
+  ``dataset_scale`` unless a workload overrides the exponents (kernels whose
+  work grows super-linearly with input, e.g. KNN, use a different exponent);
+* the qualitative scalability target of each workload (scales well / stops
+  scaling at N cores / slows down) is documented in its class docstring and
+  asserted by the workload test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.pipeline import InstructionMix
+
+__all__ = ["compute_mix", "memory_mix", "transactional_mix", "scaled_ops"]
+
+
+def compute_mix(
+    *,
+    instructions_per_op: float,
+    flop_fraction: float = 0.0,
+    branch_fraction: float = 0.1,
+    branch_miss_rate: float = 0.02,
+    mem_refs_per_op: float | None = None,
+    store_fraction: float = 0.3,
+    base_ipc: float = 1.8,
+    mlp: float = 3.0,
+) -> InstructionMix:
+    """Instruction mix for compute-bound kernels (few memory references)."""
+    if mem_refs_per_op is None:
+        mem_refs_per_op = instructions_per_op * 0.2
+    return InstructionMix(
+        instructions_per_op=instructions_per_op,
+        mem_refs_per_op=mem_refs_per_op,
+        store_fraction=store_fraction,
+        flop_fraction=flop_fraction,
+        branch_fraction=branch_fraction,
+        branch_miss_rate=branch_miss_rate,
+        base_ipc=base_ipc,
+        mlp=mlp,
+    )
+
+
+def memory_mix(
+    *,
+    instructions_per_op: float,
+    mem_refs_per_op: float,
+    store_fraction: float = 0.35,
+    flop_fraction: float = 0.02,
+    branch_fraction: float = 0.15,
+    branch_miss_rate: float = 0.05,
+    base_ipc: float = 1.4,
+    mlp: float = 2.0,
+) -> InstructionMix:
+    """Instruction mix for pointer-chasing / data-structure workloads."""
+    return InstructionMix(
+        instructions_per_op=instructions_per_op,
+        mem_refs_per_op=mem_refs_per_op,
+        store_fraction=store_fraction,
+        flop_fraction=flop_fraction,
+        branch_fraction=branch_fraction,
+        branch_miss_rate=branch_miss_rate,
+        base_ipc=base_ipc,
+        mlp=mlp,
+    )
+
+
+def transactional_mix(
+    *,
+    instructions_per_op: float,
+    mem_refs_per_op: float,
+    store_fraction: float = 0.3,
+    branch_fraction: float = 0.18,
+    branch_miss_rate: float = 0.06,
+    base_ipc: float = 1.5,
+    mlp: float = 2.0,
+) -> InstructionMix:
+    """Instruction mix for STM applications (instrumented accesses, branchy)."""
+    return InstructionMix(
+        instructions_per_op=instructions_per_op,
+        mem_refs_per_op=mem_refs_per_op,
+        store_fraction=store_fraction,
+        flop_fraction=0.01,
+        branch_fraction=branch_fraction,
+        branch_miss_rate=branch_miss_rate,
+        base_ipc=base_ipc,
+        mlp=mlp,
+    )
+
+
+def scaled_ops(base_ops: float, dataset_scale: float, *, exponent: float = 1.0) -> float:
+    """Operation count at a given dataset scale.
+
+    ``exponent`` describes how the algorithm's work grows with its input
+    (1.0 for linear scans and per-element processing, >1 for super-linear
+    kernels such as all-pairs distance computations).
+    """
+    if base_ops <= 0:
+        raise ValueError("base_ops must be positive")
+    if dataset_scale <= 0:
+        raise ValueError("dataset_scale must be positive")
+    return base_ops * dataset_scale**exponent

@@ -1,0 +1,132 @@
+"""Workload registry: name -> factory for every workload in the evaluation.
+
+The harness, the benchmarks and the examples refer to workloads by the string
+names used throughout the paper's tables ("intruder", "lock-based HT", ...).
+This module owns that mapping and groups the names the way the evaluation
+groups them (Table 4 / Table 5 rows, the production applications of
+Section 4.3, and the optimized variants of Section 4.6).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from .base import Workload
+from .knn import Knn
+from .memcached import Memcached
+from .micro import (
+    LockBasedHashTable,
+    LockBasedSkipList,
+    LockFreeHashTable,
+    LockFreeSkipList,
+)
+from .parsec import Blackscholes, Bodytrack, Canneal, Raytrace, Streamcluster, Swaptions
+from .sqlite_tpcc import SqliteTpcc
+from .stamp import Genome, Intruder, Kmeans, Labyrinth, Ssca2, VacationHigh, VacationLow, Yada
+
+__all__ = [
+    "WORKLOADS",
+    "TABLE4_WORKLOADS",
+    "STM_WORKLOADS",
+    "SOFTWARE_STALL_WORKLOADS",
+    "PRODUCTION_WORKLOADS",
+    "get_workload",
+    "workload_names",
+    "iter_workloads",
+]
+
+#: Every registered workload factory, keyed by its canonical name.
+WORKLOADS: dict[str, Callable[[], Workload]] = {
+    # data-structure microbenchmarks
+    "lock_based_ht": LockBasedHashTable,
+    "lock_based_sl": LockBasedSkipList,
+    "lock_free_ht": LockFreeHashTable,
+    "lock_free_sl": LockFreeSkipList,
+    # STAMP
+    "genome": Genome,
+    "intruder": Intruder,
+    "kmeans": Kmeans,
+    "labyrinth": Labyrinth,
+    "ssca2": Ssca2,
+    "vacation_high": VacationHigh,
+    "vacation_low": VacationLow,
+    "yada": Yada,
+    # PARSEC
+    "blackscholes": Blackscholes,
+    "bodytrack": Bodytrack,
+    "canneal": Canneal,
+    "raytrace": Raytrace,
+    "streamcluster": Streamcluster,
+    "swaptions": Swaptions,
+    # kernels and production applications
+    "knn": Knn,
+    "memcached": Memcached,
+    "sqlite_tpcc": SqliteTpcc,
+    # Section 4.6 optimized variants
+    "streamcluster_spinlock": lambda: Streamcluster(optimized_barriers=True),
+    "intruder_batch4": lambda: Intruder(decode_batch=4),
+}
+
+#: The 19 benchmark workloads of Table 4 / Table 5 (excludes the two
+#: production applications, which are evaluated separately in Section 4.3).
+TABLE4_WORKLOADS: tuple[str, ...] = (
+    "lock_based_ht",
+    "lock_based_sl",
+    "lock_free_ht",
+    "lock_free_sl",
+    "genome",
+    "intruder",
+    "kmeans",
+    "labyrinth",
+    "ssca2",
+    "vacation_high",
+    "vacation_low",
+    "yada",
+    "blackscholes",
+    "bodytrack",
+    "canneal",
+    "raytrace",
+    "streamcluster",
+    "swaptions",
+    "knn",
+)
+
+#: STAMP workloads: their STM runtime reports aborted-transaction cycles.
+STM_WORKLOADS: tuple[str, ...] = (
+    "genome",
+    "intruder",
+    "kmeans",
+    "labyrinth",
+    "ssca2",
+    "vacation_high",
+    "vacation_low",
+    "yada",
+)
+
+#: Workloads for which the paper collects software stalls (Figure 13).
+SOFTWARE_STALL_WORKLOADS: tuple[str, ...] = STM_WORKLOADS + ("streamcluster",)
+
+#: Production applications of the Section 4.3 desktop-to-server experiments.
+PRODUCTION_WORKLOADS: tuple[str, ...] = ("memcached", "sqlite_tpcc")
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a workload by its registry name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOADS))}"
+        ) from exc
+    return factory()
+
+
+def workload_names() -> tuple[str, ...]:
+    """All registered workload names."""
+    return tuple(WORKLOADS)
+
+
+def iter_workloads(names: Iterable[str] | None = None):
+    """Yield (name, workload) pairs for the given names (default: Table 4 set)."""
+    for name in names if names is not None else TABLE4_WORKLOADS:
+        yield name, get_workload(name)

@@ -1,0 +1,27 @@
+"""STAMP benchmark suite models (Stanford Transactional Applications for Multi-Processing).
+
+Eight applications from STAMP appear in the paper's evaluation, all
+synchronizing through the SwissTM software transactional memory runtime, which
+— when configured with detailed statistics — reports the cycles spent in
+aborted transactions.  Those aborted-transaction cycles are the paper's main
+software-stall category (Section 5.3).
+"""
+
+from .genome import Genome
+from .intruder import Intruder
+from .kmeans import Kmeans
+from .labyrinth import Labyrinth
+from .ssca2 import Ssca2
+from .vacation import VacationHigh, VacationLow
+from .yada import Yada
+
+__all__ = [
+    "Genome",
+    "Intruder",
+    "Kmeans",
+    "Labyrinth",
+    "Ssca2",
+    "VacationHigh",
+    "VacationLow",
+    "Yada",
+]

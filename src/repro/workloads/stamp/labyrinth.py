@@ -1,0 +1,55 @@
+"""``labyrinth`` — parallel maze routing (STAMP).
+
+Threads route paths through a shared three-dimensional grid using Lee's
+algorithm; each routing attempt copies the grid privately, computes the path,
+and commits it in one long transaction.  Transactions are huge but touch
+mostly disjoint grid regions, so conflicts grow only moderately with the
+thread count; the dominant cost is the memory traffic of the grid copies.
+The paper reports moderate errors (10-18%) and reasonable scaling.
+"""
+
+from __future__ import annotations
+
+from repro.sync import StmModel
+from repro.workloads.base import Workload, WorkloadProfile
+from repro.workloads.profiles import scaled_ops, transactional_mix
+
+__all__ = ["Labyrinth"]
+
+
+class Labyrinth(Workload):
+    """Maze routing; very long, mostly disjoint transactions, memory heavy."""
+
+    name = "labyrinth"
+    suite = "stamp"
+    description = "Lee-algorithm maze routing; long low-conflict STM transactions (STAMP)"
+
+    def profile(self, dataset_scale: float = 1.0) -> WorkloadProfile:
+        return WorkloadProfile(
+            name=self.name,
+            total_ops=scaled_ops(6.0e4, dataset_scale),
+            mix=transactional_mix(
+                instructions_per_op=160000.0,
+                mem_refs_per_op=52000.0,
+                store_fraction=0.40,
+                base_ipc=1.6,
+                mlp=4.0,
+            ),
+            private_working_set_mb=64.0 * dataset_scale,
+            shared_working_set_mb=96.0 * dataset_scale,
+            shared_access_fraction=0.25,
+            shared_write_fraction=0.12,
+            serial_fraction=0.002,
+            locality=0.96,
+            stm=StmModel(
+                tx_per_op=1.0,
+                tx_body_cycles=110000.0,
+                tx_accesses=3000.0,
+                write_footprint=60.0,
+                # The grid is large relative to a path's footprint.
+                conflict_table_size=400000.0 * dataset_scale,
+                contention_growth=1.3,
+            ),
+            noise_level=0.02,
+            software_stall_report=True,
+        )

@@ -1,0 +1,82 @@
+"""``vacation`` — travel reservation system (STAMP), high- and low-contention runs.
+
+Vacation emulates an OLTP travel booking service: client transactions reserve
+cars, flights and rooms in shared red-black trees.  STAMP ships two standard
+configurations that the paper evaluates separately:
+
+* ``vacation-low`` — most operations touch a small slice of the trees and the
+  share of read-only queries is high, so conflicts are rare;
+* ``vacation-high`` — longer transactions over a larger fraction of the trees,
+  with more reservations relative to queries, so contention is noticeably
+  higher (but still far from intruder/yada levels).
+
+Both keep scaling on the paper's machines with moderate prediction errors
+(10-25%).
+"""
+
+from __future__ import annotations
+
+from repro.sync import StmModel
+from repro.workloads.base import Workload, WorkloadProfile
+from repro.workloads.profiles import scaled_ops, transactional_mix
+
+__all__ = ["VacationHigh", "VacationLow"]
+
+
+class _VacationBase(Workload):
+    suite = "stamp"
+
+    #: Relative contention knobs overridden by the two configurations.
+    _write_footprint: float
+    _conflict_table: float
+    _tx_body_cycles: float
+    _tx_accesses: float
+
+    def profile(self, dataset_scale: float = 1.0) -> WorkloadProfile:
+        return WorkloadProfile(
+            name=self.name,
+            total_ops=scaled_ops(3.5e6, dataset_scale),
+            mix=transactional_mix(
+                instructions_per_op=3200.0,
+                mem_refs_per_op=950.0,
+                store_fraction=0.25,
+            ),
+            private_working_set_mb=15.0 * dataset_scale,
+            shared_working_set_mb=350.0 * dataset_scale,
+            shared_access_fraction=0.50,
+            shared_write_fraction=0.15,
+            serial_fraction=0.002,
+            locality=0.975,
+            stm=StmModel(
+                tx_per_op=1.0,
+                tx_body_cycles=self._tx_body_cycles,
+                tx_accesses=self._tx_accesses,
+                write_footprint=self._write_footprint,
+                conflict_table_size=self._conflict_table * dataset_scale,
+                contention_growth=1.8,
+            ),
+            noise_level=0.015,
+            software_stall_report=True,
+        )
+
+
+class VacationLow(_VacationBase):
+    """Travel reservations, low-contention configuration."""
+
+    name = "vacation_low"
+    description = "OLTP travel bookings over shared trees, low contention (STAMP)"
+    _write_footprint = 4.0
+    _conflict_table = 40000.0
+    _tx_body_cycles = 1800.0
+    _tx_accesses = 260.0
+
+
+class VacationHigh(_VacationBase):
+    """Travel reservations, high-contention configuration."""
+
+    name = "vacation_high"
+    description = "OLTP travel bookings over shared trees, high contention (STAMP)"
+    _write_footprint = 8.0
+    _conflict_table = 26000.0
+    _tx_body_cycles = 2600.0
+    _tx_accesses = 380.0

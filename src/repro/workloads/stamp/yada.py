@@ -1,0 +1,56 @@
+"""``yada`` — Delaunay mesh refinement with Ruppert's algorithm (STAMP).
+
+Threads pick "bad" triangles (minimum angle below a threshold) from a shared
+work queue, re-triangulate the surrounding cavity inside a transaction, and
+push newly created bad triangles back.  Cavities of concurrently processed
+triangles overlap increasingly often as threads are added, so the abort rate
+— and with it the aborted-transaction stall category — climbs steeply.  The
+paper shows yada as a case where time extrapolation misses the collapse but
+ESTIMA captures it (Figure 8(c)), with a 130% error gap between the two.
+"""
+
+from __future__ import annotations
+
+from repro.sync import StmModel
+from repro.workloads.base import Workload, WorkloadProfile
+from repro.workloads.profiles import scaled_ops, transactional_mix
+
+__all__ = ["Yada"]
+
+
+class Yada(Workload):
+    """Delaunay refinement; long, overlapping transactions, degrades mid-range."""
+
+    name = "yada"
+    suite = "stamp"
+    description = "Ruppert's Delaunay mesh refinement; long contended STM transactions (STAMP)"
+
+    def profile(self, dataset_scale: float = 1.0) -> WorkloadProfile:
+        return WorkloadProfile(
+            name=self.name,
+            total_ops=scaled_ops(2.5e6, dataset_scale),
+            mix=transactional_mix(
+                instructions_per_op=5200.0,
+                mem_refs_per_op=1500.0,
+                store_fraction=0.32,
+                branch_miss_rate=0.05,
+            ),
+            private_working_set_mb=20.0 * dataset_scale,
+            shared_working_set_mb=500.0 * dataset_scale,
+            shared_access_fraction=0.55,
+            shared_write_fraction=0.30,
+            serial_fraction=0.003,
+            locality=0.97,
+            stm=StmModel(
+                tx_per_op=1.0,
+                tx_body_cycles=3200.0,
+                tx_accesses=420.0,
+                # A cavity touches tens of triangles; the work queue head is a
+                # additional hot spot.
+                write_footprint=18.0,
+                conflict_table_size=244000.0 * dataset_scale,
+                contention_growth=2.45,
+            ),
+            noise_level=0.02,
+            software_stall_report=True,
+        )

@@ -1,0 +1,133 @@
+"""Tests for the analysis layer: correlations, bottleneck reports, formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    BottleneckReport,
+    CorrelationStudy,
+    PaperComparison,
+    comparison_table,
+    figure_series,
+    format_paper_comparison,
+    frontend_correlation_delta,
+    optimization_improvement,
+    stalls_time_correlation,
+)
+from repro.machine import get_machine
+from repro.simulation import MachineSimulator
+from repro.workloads import get_workload
+
+CORE_COUNTS = [1, 2, 4, 8, 12, 16, 24, 32, 40, 48]
+
+
+@pytest.fixture(scope="module")
+def intruder_sweep():
+    return MachineSimulator(get_machine("opteron48")).sweep(
+        get_workload("intruder"), core_counts=CORE_COUNTS
+    )
+
+
+@pytest.fixture(scope="module")
+def blackscholes_sweep():
+    return MachineSimulator(get_machine("opteron48")).sweep(
+        get_workload("blackscholes"), core_counts=CORE_COUNTS
+    )
+
+
+class TestCorrelation:
+    def test_correlation_is_high_for_contended_workload(self, intruder_sweep):
+        # Table 5: intruder correlation 1.00 on Opteron.
+        assert stalls_time_correlation(intruder_sweep) > 0.9
+
+    def test_correlation_is_high_for_scalable_workload(self, blackscholes_sweep):
+        assert stalls_time_correlation(blackscholes_sweep) > 0.9
+
+    def test_software_stalls_do_not_hurt_intruder_correlation(self, intruder_sweep):
+        with_sw = stalls_time_correlation(intruder_sweep, software=True)
+        without_sw = stalls_time_correlation(intruder_sweep, software=False)
+        assert with_sw >= without_sw - 0.05
+
+    def test_frontend_delta_is_small(self, intruder_sweep):
+        # Table 6: adding frontend stalls changes correlation by ~0.
+        assert abs(frontend_correlation_delta(intruder_sweep)) < 15.0
+
+    def test_study_aggregates(self, intruder_sweep, blackscholes_sweep):
+        study = CorrelationStudy.from_measurements([intruder_sweep, blackscholes_sweep])
+        assert len(study.rows) == 2
+        assert 0.0 <= study.minimum() <= study.average() <= 1.0
+        assert set(study.by_workload()) == {"intruder", "blackscholes"}
+        table = study.format_table()
+        assert "intruder" in table and "Average" in table
+
+
+class TestBottleneck:
+    def test_report_ranks_aborted_transactions_for_intruder(self, intruder_prediction):
+        report = BottleneckReport.from_prediction(intruder_prediction)
+        top_categories = [growth.category for growth in report.dominant(3)]
+        assert "stm_aborted_tx_cycles" in top_categories
+
+    def test_report_shares_are_a_distribution(self, intruder_prediction):
+        report = BottleneckReport.from_prediction(intruder_prediction)
+        assert sum(g.share_at_target for g in report.growths) == pytest.approx(1.0, abs=1e-6)
+
+    def test_fastest_growing_includes_contended_category(self, intruder_prediction):
+        report = BottleneckReport.from_prediction(intruder_prediction)
+        fastest = [growth.category for growth in report.fastest_growing(2)]
+        assert "stm_aborted_tx_cycles" in fastest
+
+    def test_format_report_mentions_hint(self, intruder_prediction):
+        text = BottleneckReport.from_prediction(intruder_prediction).format_report()
+        assert "aborted STM transactions" in text
+
+    def test_optimization_improvement_positive_for_intruder_fix(self):
+        sim = MachineSimulator(get_machine("opteron48"))
+        original = sim.sweep(get_workload("intruder"), core_counts=[12, 48])
+        optimized = sim.sweep(get_workload("intruder_batch4"), core_counts=[12, 48])
+        improvements = optimization_improvement(original, optimized)
+        assert improvements[48] > 20.0  # the paper reports up to 70%
+
+    def test_optimization_improvement_streamcluster_fix(self):
+        sim = MachineSimulator(get_machine("opteron48"))
+        original = sim.sweep(get_workload("streamcluster"), core_counts=[48])
+        optimized = sim.sweep(get_workload("streamcluster_spinlock"), core_counts=[48])
+        improvements = optimization_improvement(original, optimized, core_counts=[48])
+        assert improvements[48] > 20.0  # the paper reports up to 74%
+
+
+class TestReportFormatting:
+    def test_figure_series_layout(self):
+        text = figure_series(
+            "Figure 5(i): intruder",
+            [1, 2, 4],
+            {"measured": [4.0, 2.0, 1.1], "predicted": [4.1, 2.1, 1.0]},
+        )
+        assert "Figure 5(i)" in text
+        assert "measured" in text and "predicted" in text
+        assert len(text.splitlines()) == 5
+
+    def test_figure_series_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            figure_series("x", [1, 2], {"a": [1.0]})
+
+    def test_comparison_table_layout(self):
+        text = comparison_table(
+            "Table 4", {"genome": {"2 CPUs": 4.4, "4 CPUs": 4.6}, "yada": {"2 CPUs": 8.1, "4 CPUs": 15.1}}
+        )
+        assert "genome" in text and "yada" in text and "2 CPUs" in text
+
+    def test_comparison_table_empty_raises(self):
+        with pytest.raises(ValueError):
+            comparison_table("x", {})
+
+    def test_paper_comparison_rows(self):
+        rows = [
+            PaperComparison("Table 4", "intruder max error (%)", 31.9, 21.6, note="4 CPUs"),
+            PaperComparison("Fig 11", "streamcluster improvement (%)", 74.0, 51.0),
+        ]
+        text = format_paper_comparison(rows)
+        assert "intruder max error" in text
+        assert "74.00" in text
+        assert rows[0].matches_direction

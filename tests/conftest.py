@@ -1,0 +1,91 @@
+"""Shared pytest fixtures.
+
+The expensive part of most integration tests is the simulated core-count sweep
+plus the ESTIMA regression, so sweeps and predictions for the commonly used
+(workload, machine) pairs are built once per session and shared.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Allow running the test suite from a source checkout without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import EstimaConfig, EstimaPredictor, MachineSimulator, get_machine, get_workload  # noqa: E402
+
+
+#: Core counts used by the shared Opteron sweeps: dense where measurements
+#: happen (1..12) and coarser beyond, to keep the suite fast.
+OPTERON_CORE_COUNTS = [1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48]
+XEON20_CORE_COUNTS = [1, 2, 3, 4, 6, 8, 10, 12, 14, 16, 18, 20]
+
+
+@pytest.fixture(scope="session")
+def opteron():
+    return get_machine("opteron48")
+
+
+@pytest.fixture(scope="session")
+def xeon20():
+    return get_machine("xeon20")
+
+
+@pytest.fixture(scope="session")
+def haswell():
+    return get_machine("haswell_desktop")
+
+
+@pytest.fixture(scope="session")
+def opteron_simulator(opteron):
+    return MachineSimulator(opteron)
+
+
+@pytest.fixture(scope="session")
+def xeon20_simulator(xeon20):
+    return MachineSimulator(xeon20)
+
+
+def _sweep(machine_name: str, workload_name: str, core_counts):
+    simulator = MachineSimulator(get_machine(machine_name))
+    return simulator.sweep(get_workload(workload_name), core_counts=list(core_counts))
+
+
+@pytest.fixture(scope="session")
+def intruder_opteron_sweep():
+    """Full-machine intruder measurements on the Opteron (ground truth)."""
+    return _sweep("opteron48", "intruder", OPTERON_CORE_COUNTS)
+
+
+@pytest.fixture(scope="session")
+def blackscholes_opteron_sweep():
+    return _sweep("opteron48", "blackscholes", OPTERON_CORE_COUNTS)
+
+
+@pytest.fixture(scope="session")
+def kmeans_opteron_sweep():
+    return _sweep("opteron48", "kmeans", OPTERON_CORE_COUNTS)
+
+
+@pytest.fixture(scope="session")
+def intruder_prediction(intruder_opteron_sweep):
+    """ESTIMA prediction for intruder: measure on 12 cores, predict to 48."""
+    measured = intruder_opteron_sweep.restrict_to(12)
+    return EstimaPredictor(EstimaConfig()).predict(measured, target_cores=48)
+
+
+@pytest.fixture(scope="session")
+def blackscholes_prediction(blackscholes_opteron_sweep):
+    measured = blackscholes_opteron_sweep.restrict_to(12)
+    return EstimaPredictor(EstimaConfig()).predict(measured, target_cores=48)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,138 @@
+"""Tests for EstimaConfig and the stalls-to-time scaling factor (Section 3.1.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EstimaConfig
+from repro.core.scaling_factor import fit_scaling_factor
+
+
+class TestEstimaConfig:
+    def test_defaults_match_paper_setup(self):
+        config = EstimaConfig()
+        assert config.checkpoints == 2
+        assert config.min_prefix == 3
+        assert config.use_software_stalls is True
+        assert config.use_frontend_stalls is False
+        assert len(config.kernels) == 6
+
+    def test_invalid_checkpoints_rejected(self):
+        with pytest.raises(ValueError):
+            EstimaConfig(checkpoints=0)
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            EstimaConfig(min_prefix=1)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            EstimaConfig(kernel_names=("NotAKernel",))
+
+    def test_empty_kernel_list_rejected(self):
+        with pytest.raises(ValueError):
+            EstimaConfig(kernel_names=())
+
+    def test_cross_machine_frequency_ratio(self):
+        config = EstimaConfig.for_cross_machine(
+            measurement_frequency_ghz=3.4, target_frequency_ghz=2.8
+        )
+        assert config.frequency_ratio == pytest.approx(3.4 / 2.8)
+
+    def test_cross_machine_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            EstimaConfig.for_cross_machine(0.0, 2.8)
+
+    def test_weak_scaling_factory(self):
+        assert EstimaConfig.for_weak_scaling(2.0).dataset_ratio == 2.0
+        with pytest.raises(ValueError):
+            EstimaConfig.for_weak_scaling(0.0)
+
+    def test_with_returns_modified_copy(self):
+        config = EstimaConfig()
+        other = config.with_(checkpoints=4)
+        assert other.checkpoints == 4
+        assert config.checkpoints == 2
+
+
+class TestScalingFactor:
+    def _inputs(self):
+        cores = np.arange(1, 13)
+        stalls_per_core = 1e9 * (2.0 + 0.1 * cores)
+        # time proportional to stalls per core with a mildly varying factor
+        factor_true = 1e-9 * (1.5 + 0.02 * cores)
+        times = stalls_per_core * factor_true
+        eval_cores = np.arange(1, 49)
+        eval_spc = 1e9 * (2.0 + 0.1 * eval_cores)
+        return cores, times, stalls_per_core, eval_cores, eval_spc
+
+    def test_factor_reproduces_measured_times(self):
+        cores, times, spc, eval_cores, eval_spc = self._inputs()
+        model = fit_scaling_factor(
+            cores, times, spc, EstimaConfig(), eval_cores=eval_cores, eval_stalls_per_core=eval_spc
+        )
+        predicted = model.predict_time(cores, spc)
+        np.testing.assert_allclose(predicted, times, rtol=0.05)
+
+    def test_selection_criterion_is_correlation(self):
+        cores, times, spc, eval_cores, eval_spc = self._inputs()
+        model = fit_scaling_factor(
+            cores, times, spc, EstimaConfig(), eval_cores=eval_cores, eval_stalls_per_core=eval_spc
+        )
+        assert model.correlation > 0.9
+
+    def test_measured_factor_stored(self):
+        cores, times, spc, eval_cores, eval_spc = self._inputs()
+        model = fit_scaling_factor(
+            cores, times, spc, EstimaConfig(), eval_cores=eval_cores, eval_stalls_per_core=eval_spc
+        )
+        np.testing.assert_allclose(model.measured_factor, times / spc)
+
+    def test_zero_stalls_rejected(self):
+        cores = np.arange(1, 13)
+        with pytest.raises(ValueError):
+            fit_scaling_factor(
+                cores,
+                np.ones(12),
+                np.zeros(12),
+                EstimaConfig(),
+                eval_cores=cores,
+                eval_stalls_per_core=np.ones(12),
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fit_scaling_factor(
+                [1, 2, 3],
+                [1.0, 2.0],
+                [1.0, 2.0, 3.0],
+                EstimaConfig(),
+                eval_cores=[1, 2],
+                eval_stalls_per_core=[1.0, 2.0],
+            )
+
+    def test_factor_values_non_negative(self):
+        cores, times, spc, eval_cores, eval_spc = self._inputs()
+        model = fit_scaling_factor(
+            cores, times, spc, EstimaConfig(), eval_cores=eval_cores, eval_stalls_per_core=eval_spc
+        )
+        assert np.all(model.factor(eval_cores) >= 0.0)
+
+    def test_time_unit_rescaling_scales_predictions(self):
+        """Rescaling times (e.g. ms instead of s) rescales predictions linearly."""
+        cores, times, spc, eval_cores, eval_spc = self._inputs()
+        m1 = fit_scaling_factor(
+            cores, times, spc, EstimaConfig(), eval_cores=eval_cores, eval_stalls_per_core=eval_spc
+        )
+        m2 = fit_scaling_factor(
+            cores,
+            times * 1000.0,
+            spc,
+            EstimaConfig(),
+            eval_cores=eval_cores,
+            eval_stalls_per_core=eval_spc,
+        )
+        p1 = m1.predict_time(24, 1e9 * 4.4)
+        p2 = m2.predict_time(24, 1e9 * 4.4)
+        assert p2 == pytest.approx(p1 * 1000.0, rel=0.05)

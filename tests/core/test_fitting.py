@@ -1,0 +1,140 @@
+"""Tests for non-linear / linear kernel fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fitting import FittedFunction, fit_all_starts, fit_kernel
+from repro.core.kernels import get_kernel
+
+
+class TestFitKernel:
+    def test_poly25_recovers_generating_parameters(self):
+        cores = np.arange(1, 13, dtype=float)
+        true = 5.0 + 2.0 * cores + 0.3 * cores**2 + 0.05 * cores**2.5
+        fitted = fit_kernel(get_kernel("Poly25"), cores, true)
+        assert fitted is not None
+        np.testing.assert_allclose(fitted(cores), true, rtol=1e-6)
+
+    def test_cubic_ln_recovers_generating_parameters(self):
+        cores = np.arange(1, 13, dtype=float)
+        ln = np.log(cores)
+        true = 10.0 + 3.0 * ln + 0.5 * ln**2 + 0.1 * ln**3
+        fitted = fit_kernel(get_kernel("CubicLn"), cores, true)
+        assert fitted is not None
+        np.testing.assert_allclose(fitted(cores), true, rtol=1e-6)
+
+    def test_rational_kernel_fits_saturating_curve(self):
+        cores = np.arange(1, 13, dtype=float)
+        true = 100.0 * cores / (1.0 + 0.1 * cores)
+        fitted = fit_kernel(get_kernel("Rat22"), cores, true)
+        assert fitted is not None
+        assert fitted.train_rmse < 0.05 * np.mean(true)
+
+    def test_large_scale_values_are_handled(self):
+        # Raw counter values are ~1e11; normalisation must keep the fit stable.
+        cores = np.arange(1, 13, dtype=float)
+        true = 1e11 * (1.0 + 0.2 * cores + 0.01 * cores**2)
+        fitted = fit_kernel(get_kernel("Poly25"), cores, true)
+        assert fitted is not None
+        np.testing.assert_allclose(fitted(cores), true, rtol=1e-5)
+
+    def test_tiny_scale_values_are_handled(self):
+        # Scaling-factor values are ~1e-9 seconds per stalled cycle.
+        cores = np.arange(1, 13, dtype=float)
+        true = 1e-9 * (2.0 + 0.05 * cores)
+        fitted = fit_kernel(get_kernel("CubicLn"), cores, true)
+        assert fitted is not None
+        assert fitted.train_rmse < 1e-10
+
+    def test_underdetermined_series_still_produces_a_fit(self):
+        # 7 parameters, 3 points: under-determined but still usable (needed for
+        # the 3-point memcached desktop measurements of Section 4.3).
+        cores = np.array([1.0, 2.0, 3.0])
+        values = np.array([10.0, 20.0, 30.0])
+        fitted = fit_kernel(get_kernel("Rat33"), cores, values)
+        if fitted is not None:  # convergence from generic starts is not guaranteed
+            assert np.all(np.isfinite(fitted(cores)))
+
+    def test_non_finite_values_return_none(self):
+        cores = np.arange(1, 13, dtype=float)
+        values = np.full(12, np.nan)
+        assert fit_kernel(get_kernel("Poly25"), cores, values) is None
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            fit_kernel(get_kernel("Poly25"), [1, 2, 3], [1.0, 2.0])
+
+    def test_single_point_returns_none(self):
+        assert fit_kernel(get_kernel("Poly25"), [1], [1.0]) is None
+
+
+class TestFittedFunction:
+    def _fit(self) -> FittedFunction:
+        cores = np.arange(1, 13, dtype=float)
+        values = 10.0 + cores**2
+        fitted = fit_kernel(get_kernel("Poly25"), cores, values)
+        assert fitted is not None
+        return fitted
+
+    def test_call_returns_original_units(self):
+        fitted = self._fit()
+        assert float(fitted(2.0)) == pytest.approx(14.0, rel=1e-4)
+
+    def test_name_matches_kernel(self):
+        assert self._fit().name == "Poly25"
+
+    def test_is_realistic_rejects_negative_extrapolation(self):
+        cores = np.arange(1, 13, dtype=float)
+        values = 100.0 - 10.0 * np.log(cores) ** 3  # goes negative for large n
+        fitted = fit_kernel(get_kernel("CubicLn"), cores, values)
+        assert fitted is not None
+        assert not fitted.is_realistic(np.arange(1.0, 49.0), allow_negative=False)
+        assert fitted.is_realistic(np.arange(1.0, 49.0), allow_negative=True)
+
+    def test_is_realistic_respects_magnitude_bound(self):
+        fitted = self._fit()
+        assert fitted.is_realistic(np.arange(1.0, 49.0), max_factor=1e9)
+        assert not fitted.is_realistic(np.arange(1.0, 49.0), max_factor=10.0)
+
+
+class TestFitAllStarts:
+    def test_returns_multiple_converged_fits(self):
+        cores = np.arange(1, 13, dtype=float)
+        values = 50.0 * cores / (1.0 + 0.05 * cores)
+        fits = fit_all_starts(get_kernel("Rat22"), cores, values)
+        assert len(fits) >= 1
+        assert all(np.all(np.isfinite(f(cores))) for f in fits)
+
+    def test_underdetermined_returns_empty(self):
+        assert fit_all_starts(get_kernel("Rat33"), [1, 2, 3], [1.0, 2.0, 3.0]) == []
+
+
+class TestFittingProperties:
+    @given(
+        a=st.floats(min_value=0.1, max_value=100.0),
+        b=st.floats(min_value=0.0, max_value=10.0),
+        c=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_linear_kernels_reproduce_exact_polynomials(self, a, b, c):
+        """Poly25 fits of data generated by Poly25 are exact (linear LSQ)."""
+        cores = np.arange(1, 13, dtype=float)
+        values = a + b * cores + c * cores**2
+        fitted = fit_kernel(get_kernel("Poly25"), cores, values)
+        assert fitted is not None
+        np.testing.assert_allclose(fitted(cores), values, rtol=1e-5, atol=1e-8 * a)
+
+    @given(noise=st.floats(min_value=0.0, max_value=0.05))
+    @settings(max_examples=20, deadline=None)
+    def test_train_rmse_reflects_noise_level(self, noise):
+        rng = np.random.default_rng(0)
+        cores = np.arange(1, 13, dtype=float)
+        base = 100.0 + 10.0 * cores
+        values = base * (1.0 + noise * rng.standard_normal(cores.size))
+        fitted = fit_kernel(get_kernel("Poly25"), cores, values)
+        assert fitted is not None
+        assert fitted.train_rmse <= (noise + 1e-9) * np.max(base) * 2.0 + 1e-6

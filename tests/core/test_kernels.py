@@ -1,0 +1,142 @@
+"""Tests for the Table-1 extrapolation kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernels import DEFAULT_KERNEL_NAMES, KERNELS, get_kernel, kernel_names
+
+
+class TestCatalogue:
+    def test_all_six_paper_kernels_present(self):
+        assert set(DEFAULT_KERNEL_NAMES) == {
+            "Rat22",
+            "Rat23",
+            "Rat33",
+            "CubicLn",
+            "ExpRat",
+            "Poly25",
+        }
+
+    def test_get_kernel_returns_named_kernel(self):
+        for name in kernel_names():
+            assert get_kernel(name).name == name
+
+    def test_get_kernel_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            get_kernel("Quadratic")
+
+    def test_parameter_counts_match_definitions(self):
+        expected = {"Rat22": 5, "Rat23": 6, "Rat33": 7, "CubicLn": 4, "ExpRat": 4, "Poly25": 4}
+        for name, n_params in expected.items():
+            assert KERNELS[name].n_params == n_params
+
+    def test_initial_guesses_have_right_arity(self):
+        for kernel in KERNELS.values():
+            assert kernel.initial_guesses, kernel.name
+            for guess in kernel.initial_guesses:
+                assert len(guess) == kernel.n_params
+
+
+class TestEvaluation:
+    def test_rat22_matches_closed_form(self):
+        kernel = get_kernel("Rat22")
+        params = (1.0, 2.0, 3.0, 0.5, 0.25)
+        n = np.array([1.0, 2.0, 4.0])
+        expected = (1.0 + 2.0 * n + 3.0 * n**2) / (1.0 + 0.5 * n + 0.25 * n**2)
+        np.testing.assert_allclose(kernel(n, params), expected)
+
+    def test_cubic_ln_matches_closed_form(self):
+        kernel = get_kernel("CubicLn")
+        params = (2.0, 1.0, 0.5, -0.1)
+        n = np.array([1.0, np.e, np.e**2])
+        ln = np.log(n)
+        expected = 2.0 + ln + 0.5 * ln**2 - 0.1 * ln**3
+        np.testing.assert_allclose(kernel(n, params), expected)
+
+    def test_poly25_matches_closed_form(self):
+        kernel = get_kernel("Poly25")
+        params = (1.0, 2.0, 0.5, 0.1)
+        n = np.array([1.0, 4.0, 9.0])
+        expected = 1.0 + 2.0 * n + 0.5 * n**2 + 0.1 * n**2.5
+        np.testing.assert_allclose(kernel(n, params), expected)
+
+    def test_exprat_matches_closed_form(self):
+        kernel = get_kernel("ExpRat")
+        params = (1.0, 0.5, 2.0, 0.1)
+        n = np.array([1.0, 2.0, 10.0])
+        expected = np.exp((1.0 + 0.5 * n) / (2.0 + 0.1 * n))
+        np.testing.assert_allclose(kernel(n, params), expected)
+
+    def test_scalar_input_returns_array(self):
+        kernel = get_kernel("Poly25")
+        value = kernel(4.0, (0.0, 1.0, 0.0, 0.0))
+        assert np.asarray(value).shape == ()
+        assert float(value) == pytest.approx(4.0)
+
+
+class TestRealism:
+    def test_pole_inside_range_is_detected(self):
+        kernel = get_kernel("Rat22")
+        # Denominator 1 - 0.1 n vanishes at n = 10.
+        params = (1.0, 0.0, 0.0, -0.1, 0.0)
+        assert kernel.has_pole(params, np.arange(1.0, 49.0))
+        assert not kernel.is_realistic(params, np.arange(1.0, 49.0))
+
+    def test_no_pole_outside_range(self):
+        kernel = get_kernel("Rat22")
+        params = (1.0, 0.0, 0.0, -0.1, 0.0)  # pole at n = 10
+        assert not kernel.has_pole(params, np.arange(1.0, 9.0))
+
+    def test_negative_values_rejected_for_stall_series(self):
+        kernel = get_kernel("CubicLn")
+        params = (-5.0, 0.0, 0.0, 0.0)
+        n = np.arange(1.0, 10.0)
+        assert not kernel.is_realistic(params, n, allow_negative=False)
+        assert kernel.is_realistic(params, n, allow_negative=True)
+
+    def test_exploding_values_rejected(self):
+        kernel = get_kernel("Poly25")
+        params = (0.0, 0.0, 0.0, 1e20)
+        assert not kernel.is_realistic(params, np.arange(1.0, 49.0), max_magnitude=1e12)
+
+    def test_non_rational_kernels_never_report_poles(self):
+        for name in ("CubicLn", "Poly25"):
+            assert not KERNELS[name].has_pole((1.0, 1.0, 1.0, 1.0), np.arange(1.0, 49.0))
+
+
+class TestKernelProperties:
+    @given(
+        n=st.floats(min_value=1.0, max_value=256.0),
+        params=st.tuples(
+            st.floats(-5, 5), st.floats(-5, 5), st.floats(-5, 5), st.floats(-5, 5)
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_poly25_finite_for_finite_inputs(self, n, params):
+        value = get_kernel("Poly25")(n, params)
+        assert np.isfinite(value)
+
+    @given(
+        n=st.floats(min_value=1.0, max_value=256.0),
+        params=st.tuples(
+            st.floats(-5, 5), st.floats(-5, 5), st.floats(-5, 5), st.floats(-5, 5)
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cubic_ln_finite_for_finite_inputs(self, n, params):
+        value = get_kernel("CubicLn")(n, params)
+        assert np.isfinite(value)
+
+    @given(
+        params=st.tuples(
+            st.floats(-3, 3), st.floats(-3, 3), st.floats(-3, 3), st.floats(-3, 3)
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exprat_clipped_exponent_never_overflows(self, params):
+        values = get_kernel("ExpRat")(np.arange(1.0, 129.0), params)
+        assert np.all(np.isfinite(values))

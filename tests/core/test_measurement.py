@@ -1,0 +1,159 @@
+"""Tests for the measurement containers (Measurement / MeasurementSet)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.measurement import Measurement, MeasurementSet
+
+
+def _measurement(cores: int, time: float = 1.0, stalls: float = 100.0) -> Measurement:
+    return Measurement(
+        cores=cores,
+        time=time,
+        hardware_stalls={"rob_full": stalls, "ls_full": stalls / 2},
+        software_stalls={"stm_aborted_tx_cycles": stalls / 4},
+        frontend_stalls={"icache_misses": 1.0},
+    )
+
+
+class TestMeasurement:
+    def test_total_and_per_core_stalls(self):
+        m = _measurement(cores=4, stalls=100.0)
+        assert m.total_stalls(software=False) == pytest.approx(150.0)
+        assert m.total_stalls(software=True) == pytest.approx(175.0)
+        assert m.stalls_per_core(software=True) == pytest.approx(175.0 / 4)
+
+    def test_frontend_only_included_on_request(self):
+        m = _measurement(cores=2)
+        assert "icache_misses" not in m.stall_categories()
+        assert "icache_misses" in m.stall_categories(frontend=True)
+
+    def test_invalid_cores_rejected(self):
+        with pytest.raises(ValueError):
+            Measurement(cores=0, time=1.0)
+
+    def test_invalid_time_rejected(self):
+        with pytest.raises(ValueError):
+            Measurement(cores=1, time=0.0)
+        with pytest.raises(ValueError):
+            Measurement(cores=1, time=float("nan"))
+
+    def test_negative_counter_rejected(self):
+        with pytest.raises(ValueError):
+            Measurement(cores=1, time=1.0, hardware_stalls={"x": -1.0})
+
+    def test_round_trips_through_dict(self):
+        m = _measurement(cores=3, time=2.5)
+        again = Measurement.from_dict(m.to_dict())
+        assert again == m
+
+
+class TestMeasurementSet:
+    def _set(self) -> MeasurementSet:
+        return MeasurementSet(
+            measurements=tuple(_measurement(c, time=10.0 / c, stalls=50.0 * c) for c in range(1, 13)),
+            workload="intruder",
+            machine="opteron48",
+            frequency_ghz=2.1,
+        )
+
+    def test_sorted_by_cores(self):
+        ms = MeasurementSet(
+            measurements=(_measurement(4), _measurement(1), _measurement(2)),
+        )
+        assert list(ms.cores) == [1, 2, 4]
+
+    def test_duplicate_core_counts_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MeasurementSet(measurements=(_measurement(2), _measurement(2)))
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementSet(measurements=())
+
+    def test_category_series_aligned_with_cores(self):
+        ms = self._set()
+        series = ms.category_series("rob_full")
+        np.testing.assert_allclose(series, 50.0 * ms.cores)
+
+    def test_category_series_missing_category_is_zero(self):
+        ms = self._set()
+        assert np.all(ms.category_series("nonexistent") == 0.0)
+
+    def test_category_names_union(self):
+        ms = self._set()
+        names = ms.category_names(software=True)
+        assert "rob_full" in names and "stm_aborted_tx_cycles" in names
+        assert "stm_aborted_tx_cycles" not in ms.category_names(software=False)
+
+    def test_restrict_to_keeps_prefix(self):
+        ms = self._set().restrict_to(4)
+        assert ms.max_cores == 4
+        assert len(ms) == 4
+
+    def test_restrict_to_nothing_raises(self):
+        with pytest.raises(ValueError):
+            self._set().restrict_to(0)
+
+    def test_subset_selects_exact_core_counts(self):
+        ms = self._set().subset([1, 4, 8])
+        assert list(ms.cores) == [1, 4, 8]
+
+    def test_subset_missing_core_count_raises(self):
+        with pytest.raises(KeyError):
+            self._set().subset([1, 40])
+
+    def test_time_at_exact_core_count(self):
+        ms = self._set()
+        assert ms.time_at(5) == pytest.approx(2.0)
+        with pytest.raises(KeyError):
+            ms.time_at(100)
+
+    def test_stalls_per_core_shape(self):
+        ms = self._set()
+        assert ms.stalls_per_core().shape == (12,)
+
+    def test_json_round_trip(self, tmp_path):
+        ms = self._set()
+        path = tmp_path / "meas.json"
+        ms.save(path)
+        again = MeasurementSet.load(path)
+        assert again.workload == ms.workload
+        assert list(again.cores) == list(ms.cores)
+        np.testing.assert_allclose(again.times, ms.times)
+
+    def test_from_arrays_builder(self):
+        ms = MeasurementSet.from_arrays(
+            cores=[1, 2, 4],
+            times=[4.0, 2.0, 1.0],
+            categories={"rob_full": [10.0, 20.0, 40.0]},
+            software_categories={"aborts": [0.0, 1.0, 2.0]},
+            workload="demo",
+        )
+        assert ms.workload == "demo"
+        assert ms.category_series("aborts")[2] == 2.0
+
+
+class TestMeasurementSetProperties:
+    @given(
+        core_counts=st.lists(
+            st.integers(min_value=1, max_value=64), min_size=3, max_size=12, unique=True
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cores_always_ascending(self, core_counts):
+        ms = MeasurementSet(
+            measurements=tuple(_measurement(c) for c in core_counts),
+        )
+        cores = ms.cores
+        assert np.all(np.diff(cores) > 0)
+
+    @given(max_cores=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_restrict_never_exceeds_bound(self, max_cores):
+        ms = MeasurementSet(measurements=tuple(_measurement(c) for c in range(1, 13)))
+        assert ms.restrict_to(max_cores).max_cores <= max_cores

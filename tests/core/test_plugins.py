@@ -1,0 +1,150 @@
+"""Tests for the software-stall plugin mechanism (Section 4.1)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.measurement import Measurement, MeasurementSet
+from repro.core.plugins import AGGREGATIONS, PluginSet, StallPlugin
+from repro.sync.pthread_wrapper import PthreadWrapperReport, default_plugins_config
+
+REPORT = """# pthread wrapper statistics (2 threads)
+thread 0 lock_spin_cycles 1000
+thread 1 lock_spin_cycles 1400
+thread 0 barrier_wait_cycles 500
+thread 1 barrier_wait_cycles 700
+"""
+
+
+class TestStallPlugin:
+    def test_sum_aggregation(self):
+        plugin = StallPlugin(name="lock_spin_cycles", pattern=r"lock_spin_cycles (\d+)")
+        assert plugin.extract(REPORT) == pytest.approx(2400.0)
+
+    def test_max_and_average_aggregation(self):
+        assert StallPlugin(
+            name="x", pattern=r"lock_spin_cycles (\d+)", aggregation="max"
+        ).extract(REPORT) == pytest.approx(1400.0)
+        assert StallPlugin(
+            name="x", pattern=r"lock_spin_cycles (\d+)", aggregation="average"
+        ).extract(REPORT) == pytest.approx(1200.0)
+
+    def test_no_match_returns_zero(self):
+        plugin = StallPlugin(name="aborts", pattern=r"stm_aborted_tx_cycles (\d+)")
+        assert plugin.extract(REPORT) == 0.0
+
+    def test_scale_applied(self):
+        plugin = StallPlugin(
+            name="x", pattern=r"barrier_wait_cycles (\d+)", aggregation="sum", scale=2.0
+        )
+        assert plugin.extract(REPORT) == pytest.approx(2400.0)
+
+    def test_pattern_needs_one_group(self):
+        with pytest.raises(ValueError):
+            StallPlugin(name="x", pattern=r"lock_spin_cycles \d+")
+        with pytest.raises(ValueError):
+            StallPlugin(name="x", pattern=r"(\w+) (\d+)")
+
+    def test_unknown_aggregation_rejected(self):
+        with pytest.raises(ValueError):
+            StallPlugin(name="x", pattern=r"(\d+)", aggregation="median")
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            StallPlugin(name="x", pattern=r"(\d+)", level="firmware")
+
+    def test_extract_from_file(self, tmp_path):
+        path = tmp_path / "report.txt"
+        path.write_text(REPORT)
+        plugin = StallPlugin(name="x", pattern=r"lock_spin_cycles (\d+)")
+        assert plugin.extract_from_file(path) == pytest.approx(2400.0)
+
+    def test_all_aggregations_registered(self):
+        assert {"sum", "min", "max", "average", "mean"} <= set(AGGREGATIONS)
+
+
+class TestPluginSet:
+    def _measurements(self) -> MeasurementSet:
+        return MeasurementSet(
+            measurements=tuple(
+                Measurement(cores=c, time=10.0 / c, hardware_stalls={"rob": 100.0 * c})
+                for c in (1, 2, 4)
+            ),
+            workload="demo",
+        )
+
+    def test_augment_adds_software_categories(self):
+        plugins = PluginSet(
+            plugins=(StallPlugin(name="lock_spin_cycles", pattern=r"lock_spin_cycles (\d+)"),)
+        )
+        augmented = plugins.augment(self._measurements(), {2: REPORT})
+        by_cores = {m.cores: m for m in augmented}
+        assert by_cores[2].software_stalls["lock_spin_cycles"] == pytest.approx(2400.0)
+        assert "lock_spin_cycles" not in by_cores[1].software_stalls
+
+    def test_augment_preserves_existing_counters(self):
+        plugins = PluginSet(
+            plugins=(StallPlugin(name="lock_spin_cycles", pattern=r"lock_spin_cycles (\d+)"),)
+        )
+        augmented = plugins.augment(self._measurements(), {4: REPORT})
+        by_cores = {m.cores: m for m in augmented}
+        assert by_cores[4].hardware_stalls["rob"] == pytest.approx(400.0)
+
+    def test_hardware_level_plugin_lands_in_hardware(self):
+        plugins = PluginSet(
+            plugins=(
+                StallPlugin(
+                    name="extra_hw", pattern=r"barrier_wait_cycles (\d+)", level="hardware"
+                ),
+            )
+        )
+        augmented = plugins.augment(self._measurements(), {1: REPORT})
+        by_cores = {m.cores: m for m in augmented}
+        assert by_cores[1].hardware_stalls["extra_hw"] == pytest.approx(1200.0)
+
+    def test_config_round_trip(self, tmp_path):
+        plugins = PluginSet(
+            plugins=tuple(StallPlugin.from_dict(d) for d in default_plugins_config())
+        )
+        path = tmp_path / "plugins.json"
+        plugins.save_config(path)
+        again = PluginSet.from_config(path)
+        assert len(again) == len(plugins)
+        assert {p.name for p in again} == {p.name for p in plugins}
+
+    def test_from_config_accepts_bare_list(self, tmp_path):
+        path = tmp_path / "plugins.json"
+        path.write_text(json.dumps(default_plugins_config()))
+        assert len(PluginSet.from_config(path)) == len(default_plugins_config())
+
+    def test_augment_from_files(self, tmp_path):
+        report_path = tmp_path / "run2.txt"
+        report_path.write_text(REPORT)
+        plugins = PluginSet(
+            plugins=(StallPlugin(name="lock_spin_cycles", pattern=r"lock_spin_cycles (\d+)"),)
+        )
+        augmented = plugins.augment_from_files(self._measurements(), {2: report_path})
+        by_cores = {m.cores: m for m in augmented}
+        assert by_cores[2].software_stalls["lock_spin_cycles"] == pytest.approx(2400.0)
+
+
+class TestPthreadWrapperIntegration:
+    def test_rendered_report_parsed_by_default_plugins(self):
+        report = PthreadWrapperReport(
+            threads=4,
+            lock_spin_cycles=4000.0,
+            lock_block_cycles=0.0,
+            barrier_wait_cycles=8000.0,
+            stm_aborted_tx_cycles=2000.0,
+        ).text()
+        plugins = PluginSet(
+            plugins=tuple(StallPlugin.from_dict(d) for d in default_plugins_config())
+        )
+        extracted = plugins.extract_all(report)
+        # Per-thread skew keeps parsed totals within a few percent of the real totals.
+        assert extracted["lock_spin_cycles"][1] == pytest.approx(4000.0, rel=0.1)
+        assert extracted["barrier_wait_cycles"][1] == pytest.approx(8000.0, rel=0.1)
+        assert extracted["stm_aborted_tx_cycles"][1] == pytest.approx(2000.0, rel=0.1)
+        assert extracted["lock_block_cycles"][1] == 0.0

@@ -1,0 +1,136 @@
+"""Tests for the checkpoint-based regression (Section 3.1.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import EstimaConfig
+from repro.core.regression import candidate_fits, extrapolate_series
+
+
+def _growing_series(cores: np.ndarray, *, quadratic: float = 2.0) -> np.ndarray:
+    return 1e9 * (5.0 + 0.5 * cores + quadratic * 0.05 * cores**2)
+
+
+class TestExtrapolateSeries:
+    def test_recovers_polynomial_growth(self):
+        cores = np.arange(1, 13)
+        values = _growing_series(cores)
+        result = extrapolate_series(cores, values, EstimaConfig(), target_cores=48, category="rob")
+        predicted = result.predict(48)
+        expected = _growing_series(np.array([48]))[0]
+        assert predicted == pytest.approx(expected, rel=0.25)
+
+    def test_checkpoints_are_highest_core_counts(self):
+        cores = np.arange(1, 13)
+        values = _growing_series(cores)
+        result = extrapolate_series(
+            cores, values, EstimaConfig(checkpoints=2), target_cores=48
+        )
+        assert result.checkpoint_cores == (11, 12)
+
+    def test_four_checkpoints_supported(self):
+        cores = np.arange(1, 13)
+        values = _growing_series(cores)
+        result = extrapolate_series(
+            cores, values, EstimaConfig(checkpoints=4), target_cores=48
+        )
+        assert result.checkpoint_cores == (9, 10, 11, 12)
+
+    def test_chosen_fit_minimises_checkpoint_rmse(self):
+        cores = np.arange(1, 13)
+        values = _growing_series(cores)
+        result = extrapolate_series(cores, values, EstimaConfig(), target_cores=48)
+        best = min(result.candidates, key=lambda c: c.checkpoint_rmse)
+        assert result.chosen.checkpoint_rmse == pytest.approx(best.checkpoint_rmse)
+
+    def test_prediction_clamped_non_negative(self):
+        cores = np.arange(1, 13)
+        values = np.maximum(1e9 - 9e7 * cores, 1e7)  # steeply decreasing series
+        result = extrapolate_series(cores, values, EstimaConfig(), target_cores=48)
+        assert np.all(result.predict(np.arange(1, 49)) >= 0.0)
+
+    def test_too_few_measurements_raise(self):
+        with pytest.raises(ValueError):
+            extrapolate_series([1, 2], [1.0, 2.0], EstimaConfig(), target_cores=48)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            extrapolate_series([1, 2, 3], [1.0, 2.0], EstimaConfig(), target_cores=48)
+
+    def test_flat_series_extrapolates_flat(self):
+        cores = np.arange(1, 13)
+        values = np.full(12, 3.3e9)
+        result = extrapolate_series(cores, values, EstimaConfig(), target_cores=48)
+        assert result.predict(48) == pytest.approx(3.3e9, rel=0.1)
+
+    def test_candidates_cover_multiple_prefixes(self):
+        cores = np.arange(1, 13)
+        values = _growing_series(cores)
+        result = extrapolate_series(cores, values, EstimaConfig(), target_cores=48)
+        prefixes = {c.prefix_length for c in result.candidates}
+        assert len(prefixes) > 1
+        assert min(prefixes) >= EstimaConfig().min_prefix
+
+    def test_kernel_subset_is_respected(self):
+        cores = np.arange(1, 13)
+        values = _growing_series(cores)
+        config = EstimaConfig(kernel_names=("Poly25",))
+        result = extrapolate_series(cores, values, config, target_cores=48)
+        assert result.kernel_name == "Poly25"
+        assert all(c.kernel_name == "Poly25" for c in result.candidates)
+
+
+class TestCandidateFits:
+    def test_returns_checkpoint_cores(self):
+        cores = np.arange(1, 13)
+        values = _growing_series(cores)
+        candidates, checkpoints = candidate_fits(
+            cores, values, EstimaConfig(), target_cores=48
+        )
+        assert checkpoints == (11, 12)
+        assert candidates
+
+    def test_all_candidates_are_realistic_on_target_range(self):
+        cores = np.arange(1, 13)
+        values = _growing_series(cores)
+        candidates, _ = candidate_fits(cores, values, EstimaConfig(), target_cores=48)
+        grid = np.arange(1.0, 49.0)
+        for candidate in candidates:
+            assert np.all(np.isfinite(candidate.fitted(grid)))
+
+    def test_checkpoints_shrink_for_short_series(self):
+        cores = np.arange(1, 6)
+        values = _growing_series(cores)
+        _, checkpoints = candidate_fits(
+            cores, values, EstimaConfig(checkpoints=4), target_cores=16
+        )
+        # Only 5 points: at least two must remain for training.
+        assert len(checkpoints) <= 3
+
+
+class TestRegressionProperties:
+    @given(
+        slope=st.floats(min_value=0.01, max_value=5.0),
+        quad=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_monotone_growing_series_predicts_growth(self, slope, quad):
+        """Extrapolation of a cleanly growing series never collapses to ~zero."""
+        cores = np.arange(1, 13)
+        values = 1e9 * (1.0 + slope * cores + quad * cores**2)
+        result = extrapolate_series(cores, values, EstimaConfig(), target_cores=48)
+        assert result.predict(48) >= 0.5 * values[-1]
+
+    @given(scale=st.floats(min_value=1e-3, max_value=1e12))
+    @settings(max_examples=15, deadline=None)
+    def test_prediction_scales_linearly_with_input_scale(self, scale):
+        """Rescaling the series rescales the extrapolation (unit invariance)."""
+        cores = np.arange(1, 13)
+        base = 5.0 + 0.5 * cores + 0.1 * cores**2
+        r1 = extrapolate_series(cores, base, EstimaConfig(), target_cores=24)
+        r2 = extrapolate_series(cores, base * scale, EstimaConfig(), target_cores=24)
+        assert r2.predict(24) == pytest.approx(r1.predict(24) * scale, rel=0.05)

@@ -1,0 +1,235 @@
+"""Tests for the cache, memory and pipeline component models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.caches import CacheHierarchy, CacheLevel
+from repro.machine.counters import StallSource
+from repro.machine.machines import opteron48
+from repro.machine.memory import MemorySystem
+from repro.machine.pipeline import InstructionMix, decompose_stalls
+
+
+def _hierarchy() -> CacheHierarchy:
+    return CacheHierarchy(
+        levels=(
+            CacheLevel(name="L1", size_kb=32.0, latency_cycles=4.0),
+            CacheLevel(name="L2", size_kb=256.0, latency_cycles=12.0),
+            CacheLevel(name="L3", size_kb=8192.0, latency_cycles=36.0, shared=True),
+        )
+    )
+
+
+def _behaviour(hierarchy, **overrides):
+    kwargs = dict(
+        private_working_set_kb=10_000.0,
+        shared_working_set_kb=200_000.0,
+        threads_on_chip=4,
+        shared_access_fraction=0.4,
+        shared_write_fraction=0.2,
+        total_threads=8,
+        locality=0.97,
+    )
+    kwargs.update(overrides)
+    return hierarchy.behaviour(**kwargs)
+
+
+class TestCacheHierarchy:
+    def test_fractions_form_a_distribution(self):
+        behaviour = _behaviour(_hierarchy())
+        total = sum(behaviour.hit_fractions.values()) + behaviour.memory_fraction
+        assert total + behaviour.coherence_fraction == pytest.approx(1.0, abs=1e-9)
+
+    def test_high_locality_means_low_miss_rate(self):
+        behaviour = _behaviour(_hierarchy(), locality=0.99)
+        assert behaviour.miss_rate() < 0.05
+
+    def test_miss_rate_grows_when_llc_is_shared_by_more_threads(self):
+        few = _behaviour(_hierarchy(), threads_on_chip=1)
+        many = _behaviour(_hierarchy(), threads_on_chip=8)
+        assert many.memory_fraction >= few.memory_fraction
+
+    def test_coherence_needs_multiple_threads(self):
+        single = _behaviour(_hierarchy(), total_threads=1)
+        many = _behaviour(_hierarchy(), total_threads=16)
+        assert single.coherence_fraction == 0.0
+        assert many.coherence_fraction > 0.0
+
+    def test_coherence_grows_with_shared_writes(self):
+        read_only = _behaviour(_hierarchy(), shared_write_fraction=0.0)
+        write_heavy = _behaviour(_hierarchy(), shared_write_fraction=0.5)
+        assert write_heavy.coherence_fraction > read_only.coherence_fraction
+
+    def test_tiny_working_set_fits_in_cache(self):
+        behaviour = _behaviour(
+            _hierarchy(), private_working_set_kb=8.0, shared_working_set_kb=4.0, locality=0.9
+        )
+        assert behaviour.memory_fraction == pytest.approx(0.0, abs=1e-6)
+
+    def test_invalid_locality_rejected(self):
+        with pytest.raises(ValueError):
+            _behaviour(_hierarchy(), locality=1.5)
+
+    def test_invalid_cache_level_rejected(self):
+        with pytest.raises(ValueError):
+            CacheLevel(name="L1", size_kb=0.0, latency_cycles=4.0)
+
+    @given(
+        locality=st.floats(min_value=0.5, max_value=1.0),
+        shared=st.floats(min_value=0.0, max_value=1.0),
+        writes=st.floats(min_value=0.0, max_value=1.0),
+        threads=st.integers(min_value=1, max_value=48),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_behaviour_always_well_formed(self, locality, shared, writes, threads):
+        behaviour = _behaviour(
+            _hierarchy(),
+            locality=locality,
+            shared_access_fraction=shared,
+            shared_write_fraction=writes,
+            total_threads=threads,
+        )
+        assert 0.0 <= behaviour.memory_fraction <= 1.0
+        assert 0.0 <= behaviour.coherence_fraction <= 1.0
+        assert behaviour.miss_rate() <= 1.0 + 1e-9
+        assert behaviour.avg_hit_latency_cycles >= 0.0
+
+
+class TestMemorySystem:
+    def _memory(self) -> MemorySystem:
+        return MemorySystem(
+            local_latency_ns=80.0, bandwidth_gbs_per_socket=20.0, numa_factor=2.0,
+            intra_socket_factor=1.4,
+        )
+
+    def _placement(self, threads: int):
+        return opteron48().topology.place(threads)
+
+    def test_latency_cycles_conversion(self):
+        assert self._memory().latency_cycles(2.0) == pytest.approx(160.0)
+
+    def test_single_socket_has_no_remote_accesses(self):
+        memory = self._memory()
+        assert memory.remote_access_fraction(self._placement(6), 0.5) == 0.0
+
+    def test_remote_fraction_grows_with_sockets(self):
+        memory = self._memory()
+        two = memory.remote_access_fraction(self._placement(24), 0.5)
+        four = memory.remote_access_fraction(self._placement(48), 0.5)
+        assert 0.0 < two < four
+
+    def test_multi_chip_module_has_cross_chip_accesses_within_socket(self):
+        memory = self._memory()
+        assert memory.cross_chip_fraction(self._placement(12), 0.5) > 0.0
+
+    def test_bandwidth_saturation_inflates_latency(self):
+        memory = self._memory()
+        light = memory.behaviour(
+            placement=self._placement(12),
+            frequency_ghz=2.1,
+            misses_per_second_per_thread=1e6,
+            shared_access_fraction=0.5,
+        )
+        heavy = memory.behaviour(
+            placement=self._placement(12),
+            frequency_ghz=2.1,
+            misses_per_second_per_thread=5e8,
+            shared_access_fraction=0.5,
+        )
+        assert heavy.queue_inflation > light.queue_inflation
+        assert heavy.effective_latency_cycles > light.effective_latency_cycles
+
+    def test_queue_inflation_is_capped(self):
+        memory = self._memory()
+        crazy = memory.behaviour(
+            placement=self._placement(12),
+            frequency_ghz=2.1,
+            misses_per_second_per_thread=1e12,
+            shared_access_fraction=0.5,
+        )
+        assert crazy.queue_inflation <= 4.0 + 1e-9
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MemorySystem(local_latency_ns=0.0, bandwidth_gbs_per_socket=20.0, numa_factor=2.0)
+        with pytest.raises(ValueError):
+            MemorySystem(local_latency_ns=80.0, bandwidth_gbs_per_socket=20.0, numa_factor=0.5)
+
+
+class TestPipeline:
+    def _mix(self, **overrides) -> InstructionMix:
+        kwargs = dict(
+            instructions_per_op=2000.0,
+            mem_refs_per_op=600.0,
+            store_fraction=0.3,
+            flop_fraction=0.1,
+            branch_fraction=0.15,
+            branch_miss_rate=0.05,
+        )
+        kwargs.update(overrides)
+        return InstructionMix(**kwargs)
+
+    def _decompose(self, mix=None, *, locality=0.97, misses_per_second=1e7):
+        hierarchy = _hierarchy()
+        cache = _behaviour(hierarchy, locality=locality)
+        memory = MemorySystem(
+            local_latency_ns=80.0, bandwidth_gbs_per_socket=20.0, numa_factor=2.0
+        ).behaviour(
+            placement=opteron48().topology.place(8),
+            frequency_ghz=2.1,
+            misses_per_second_per_thread=misses_per_second,
+            shared_access_fraction=0.4,
+        )
+        return decompose_stalls(mix or self._mix(), cache, memory)
+
+    def test_all_backend_sources_present(self):
+        breakdown = self._decompose()
+        assert set(breakdown.backend) == {
+            StallSource.MEMORY_LATENCY,
+            StallSource.STORE_PRESSURE,
+            StallSource.DEPENDENCY,
+            StallSource.FPU_PRESSURE,
+            StallSource.BRANCH_RECOVERY,
+            StallSource.ALLOCATION,
+        }
+
+    def test_all_stalls_non_negative(self):
+        breakdown = self._decompose()
+        assert all(v >= 0.0 for v in breakdown.backend.values())
+        assert all(v >= 0.0 for v in breakdown.frontend.values())
+
+    def test_memory_latency_dominates_for_poor_locality(self):
+        poor = self._decompose(locality=0.85)
+        good = self._decompose(locality=0.999)
+        assert (
+            poor.backend[StallSource.MEMORY_LATENCY] > good.backend[StallSource.MEMORY_LATENCY]
+        )
+
+    def test_fp_heavy_mix_increases_fpu_stalls(self):
+        fp = self._decompose(self._mix(flop_fraction=0.5))
+        scalar = self._decompose(self._mix(flop_fraction=0.0))
+        assert fp.backend[StallSource.FPU_PRESSURE] > scalar.backend[StallSource.FPU_PRESSURE]
+        assert scalar.backend[StallSource.FPU_PRESSURE] == 0.0
+
+    def test_branchy_mix_increases_branch_recovery(self):
+        branchy = self._decompose(self._mix(branch_miss_rate=0.2))
+        clean = self._decompose(self._mix(branch_miss_rate=0.0))
+        assert (
+            branchy.backend[StallSource.BRANCH_RECOVERY] > clean.backend[StallSource.BRANCH_RECOVERY]
+        )
+
+    def test_useful_cycles_follow_ipc(self):
+        mix = self._mix(base_ipc=2.0)
+        assert mix.useful_cycles_per_op == pytest.approx(1000.0)
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            self._mix(instructions_per_op=0.0)
+        with pytest.raises(ValueError):
+            self._mix(store_fraction=1.5)
+        with pytest.raises(ValueError):
+            self._mix(mlp=0.5)

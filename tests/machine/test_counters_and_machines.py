@@ -1,0 +1,115 @@
+"""Tests for the counter catalogues (Tables 2 and 3) and machine presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.counters import (
+    AMD_FAMILY_10H,
+    FALLBACK_SOURCE,
+    INTEL_HASWELL,
+    StallSource,
+    catalog_for_vendor,
+)
+from repro.machine.machines import MACHINES, get_machine
+
+
+class TestAmdCatalogue:
+    def test_paper_table2_event_codes(self):
+        codes = {event.code for event in AMD_FAMILY_10H.backend}
+        assert codes == {"0D2h", "0D5h", "0D6h", "0D7h", "0D8h"}
+
+    def test_five_backend_events(self):
+        assert len(AMD_FAMILY_10H.backend) == 5
+
+    def test_lookup_by_code_case_insensitive(self):
+        event = AMD_FAMILY_10H.event_by_code("0d5H")
+        assert event.name == "dispatch_stall_reorder_buffer_full"
+
+    def test_each_backend_event_has_distinct_source(self):
+        sources = [event.source for event in AMD_FAMILY_10H.backend]
+        assert len(sources) == len(set(sources))
+
+
+class TestIntelCatalogue:
+    def test_paper_table3_event_codes(self):
+        codes = {event.code for event in INTEL_HASWELL.backend}
+        assert codes == {"0487h", "01A2h", "04A2h", "08A2h", "10A2h"}
+
+    def test_rob_full_maps_to_memory_latency(self):
+        assert INTEL_HASWELL.event_by_code("10A2h").source is StallSource.MEMORY_LATENCY
+
+    def test_frontend_events_marked(self):
+        assert all(event.frontend for event in INTEL_HASWELL.frontend)
+        assert all(not event.frontend for event in INTEL_HASWELL.backend)
+
+    def test_unknown_event_raises(self):
+        with pytest.raises(KeyError):
+            INTEL_HASWELL.event_by_name("not_an_event")
+        with pytest.raises(KeyError):
+            INTEL_HASWELL.event_by_code("FFFFh")
+
+
+class TestVendorLookup:
+    def test_vendor_lookup(self):
+        assert catalog_for_vendor("amd") is AMD_FAMILY_10H
+        assert catalog_for_vendor("Intel") is INTEL_HASWELL
+
+    def test_unknown_vendor_raises(self):
+        with pytest.raises(KeyError):
+            catalog_for_vendor("sparc")
+
+    def test_fallbacks_resolve_to_available_sources(self):
+        # Every fallback chain must terminate in a source each vendor provides.
+        for catalog in (AMD_FAMILY_10H, INTEL_HASWELL):
+            available = set(catalog.backend_by_source())
+            for source in StallSource:
+                if source in (StallSource.FRONTEND_ICACHE, StallSource.FRONTEND_DECODE):
+                    continue
+                visited = set()
+                current = source
+                while current not in available and current in FALLBACK_SOURCE:
+                    assert current not in visited, "fallback cycle"
+                    visited.add(current)
+                    current = FALLBACK_SOURCE[current]
+                assert current in available, (catalog.vendor, source)
+
+
+class TestMachinePresets:
+    def test_all_paper_machines_registered(self):
+        assert set(MACHINES) == {"haswell_desktop", "opteron48", "xeon20", "xeon48"}
+
+    def test_opteron_geometry(self):
+        machine = get_machine("opteron48")
+        assert machine.total_cores == 48
+        assert machine.vendor == "amd"
+        assert machine.frequency_ghz == pytest.approx(2.1)
+        assert machine.topology.chips_per_socket == 2  # multi-chip module
+
+    def test_xeon20_geometry(self):
+        machine = get_machine("xeon20")
+        assert machine.total_threads == 20
+        assert machine.threads_per_socket == 10
+        assert machine.vendor == "intel"
+
+    def test_haswell_has_smt(self):
+        machine = get_machine("haswell_desktop")
+        assert machine.total_cores == 4
+        assert machine.total_threads == 8
+
+    def test_xeon48_is_four_sockets(self):
+        machine = get_machine("xeon48")
+        assert machine.topology.sockets == 4
+        assert machine.total_threads == 48
+
+    def test_unknown_machine_raises(self):
+        with pytest.raises(KeyError):
+            get_machine("power9")
+
+    def test_counters_match_vendor(self):
+        assert get_machine("opteron48").counters.vendor == "amd"
+        assert get_machine("xeon20").counters.vendor == "intel"
+
+    def test_describe_mentions_geometry(self):
+        text = get_machine("opteron48").describe()
+        assert "4 socket" in text and "6 cores" in text

@@ -1,0 +1,165 @@
+"""Tests for the machine simulator (the measurement substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.measurement import MeasurementSet
+from repro.machine import get_machine
+from repro.simulation import MachineSimulator
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def opteron_sim():
+    return MachineSimulator(get_machine("opteron48"))
+
+
+@pytest.fixture(scope="module")
+def xeon_sim():
+    return MachineSimulator(get_machine("xeon20"))
+
+
+class TestSingleRun:
+    def test_run_produces_vendor_counters(self, opteron_sim, xeon_sim):
+        amd = opteron_sim.run(get_workload("genome"), threads=4)
+        intel = xeon_sim.run(get_workload("genome"), threads=4)
+        assert "dispatch_stall_reorder_buffer_full" in amd.hardware_stalls
+        assert "resource_stalls_rob" in intel.hardware_stalls
+        assert set(amd.hardware_stalls) != set(intel.hardware_stalls)
+
+    def test_all_counters_non_negative_and_finite(self, opteron_sim):
+        result = opteron_sim.run(get_workload("intruder"), threads=12)
+        for group in (result.hardware_stalls, result.software_stalls, result.frontend_stalls):
+            for value in group.values():
+                assert np.isfinite(value) and value >= 0.0
+        assert result.time > 0.0
+
+    def test_determinism(self, opteron_sim):
+        a = opteron_sim.run(get_workload("intruder"), threads=8)
+        b = opteron_sim.run(get_workload("intruder"), threads=8)
+        assert a.time == b.time
+        assert a.hardware_stalls == b.hardware_stalls
+
+    def test_software_stalls_only_for_reporting_workloads(self, opteron_sim):
+        stm = opteron_sim.run(get_workload("intruder"), threads=8)
+        plain = opteron_sim.run(get_workload("blackscholes"), threads=8)
+        assert stm.software_stalls
+        assert plain.software_stalls == {}
+
+    def test_thread_bounds_enforced(self, opteron_sim):
+        with pytest.raises(ValueError):
+            opteron_sim.run(get_workload("genome"), threads=0)
+        with pytest.raises(ValueError):
+            opteron_sim.run(get_workload("genome"), threads=49)
+
+    def test_to_measurement_conversion(self, opteron_sim):
+        result = opteron_sim.run(get_workload("intruder"), threads=6)
+        measurement = result.to_measurement()
+        assert measurement.cores == 6
+        assert measurement.time == result.time
+        assert measurement.software_stalls == dict(result.software_stalls)
+        hw_only = result.to_measurement(include_software=False)
+        assert hw_only.software_stalls == {}
+
+    def test_dataset_scale_increases_work(self, opteron_sim):
+        small = opteron_sim.run(get_workload("genome"), threads=8, dataset_scale=1.0)
+        big = opteron_sim.run(get_workload("genome"), threads=8, dataset_scale=2.0)
+        assert big.time > small.time
+        assert big.memory_footprint_mb > small.memory_footprint_mb
+
+    def test_details_are_populated(self, opteron_sim):
+        result = opteron_sim.run(get_workload("intruder"), threads=24)
+        details = result.details
+        assert details.cycles_per_op > details.useful_cycles_per_op
+        assert 0.0 <= details.cache_miss_fraction <= 1.0
+        assert 0.0 <= details.stm_abort_probability <= 1.0
+        assert details.sockets_used == 2
+
+    def test_zero_noise_gives_smooth_model_output(self):
+        sim = MachineSimulator(get_machine("opteron48"), noise=0.0)
+        times = [sim.run(get_workload("blackscholes"), threads=n).time for n in (1, 2, 4, 8)]
+        # With no jitter, an embarrassingly parallel workload halves its time
+        # every doubling, almost exactly.
+        assert times[0] / times[1] == pytest.approx(2.0, rel=0.05)
+        assert times[1] / times[2] == pytest.approx(2.0, rel=0.05)
+
+
+class TestScalabilitySignatures:
+    """The qualitative behaviours the paper reports for its workloads."""
+
+    def _best_core_count(self, sim, name, counts=(1, 2, 4, 8, 12, 16, 24, 32, 40, 48)):
+        sweep = sim.sweep(get_workload(name), core_counts=list(counts))
+        return int(sweep.cores[int(np.argmin(sweep.times))]), sweep
+
+    def test_blackscholes_scales_to_the_full_machine(self, opteron_sim):
+        best, sweep = self._best_core_count(opteron_sim, "blackscholes")
+        assert best >= 40
+        assert sweep.times[0] / sweep.times[-1] > 20.0  # near-linear speedup
+
+    def test_raytrace_scales_well(self, opteron_sim):
+        best, _ = self._best_core_count(opteron_sim, "raytrace")
+        assert best >= 40
+
+    def test_intruder_stops_scaling_mid_machine(self, opteron_sim):
+        best, sweep = self._best_core_count(opteron_sim, "intruder")
+        assert 12 < best < 40
+        # and it actually slows down at the full machine
+        assert sweep.time_at(48) > float(np.min(sweep.times)) * 1.1
+
+    def test_yada_stops_scaling_mid_machine(self, opteron_sim):
+        best, _ = self._best_core_count(opteron_sim, "yada")
+        assert 12 < best < 40
+
+    def test_kmeans_stops_scaling(self, opteron_sim):
+        best, _ = self._best_core_count(opteron_sim, "kmeans")
+        assert best < 40
+
+    def test_sqlite_stops_scaling_early(self, xeon_sim):
+        best, _ = self._best_core_count(
+            xeon_sim, "sqlite_tpcc", counts=(1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20)
+        )
+        assert best <= 16
+
+    def test_memcached_stops_scaling(self, xeon_sim):
+        best, _ = self._best_core_count(
+            xeon_sim, "memcached", counts=(1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20)
+        )
+        assert best <= 18
+
+    def test_optimized_streamcluster_beats_original_at_scale(self, opteron_sim):
+        original = opteron_sim.sweep(get_workload("streamcluster"), core_counts=[48])
+        optimized = opteron_sim.sweep(get_workload("streamcluster_spinlock"), core_counts=[48])
+        assert optimized.times[0] < original.times[0]
+
+    def test_optimized_intruder_beats_original_at_scale(self, opteron_sim):
+        original = opteron_sim.sweep(get_workload("intruder"), core_counts=[48])
+        optimized = opteron_sim.sweep(get_workload("intruder_batch4"), core_counts=[48])
+        assert optimized.times[0] < original.times[0]
+
+    def test_stm_aborted_cycles_grow_steeply_for_intruder(self, opteron_sim):
+        sweep = opteron_sim.sweep(get_workload("intruder"), core_counts=[2, 12, 48])
+        aborted = sweep.category_series("stm_aborted_tx_cycles")
+        assert aborted[2] > 5.0 * aborted[1] > 0.0
+
+
+class TestSweep:
+    def test_sweep_returns_sorted_measurement_set(self, opteron_sim):
+        sweep = opteron_sim.sweep(get_workload("genome"), core_counts=[8, 1, 4])
+        assert isinstance(sweep, MeasurementSet)
+        assert list(sweep.cores) == [1, 4, 8]
+        assert sweep.workload == "genome"
+        assert sweep.machine == "opteron48"
+        assert sweep.frequency_ghz == pytest.approx(2.1)
+
+    def test_sweep_without_software(self, opteron_sim):
+        sweep = opteron_sim.sweep(
+            get_workload("intruder"), core_counts=[1, 4], include_software=False
+        )
+        assert sweep.category_names(software=True) == sweep.category_names(software=False)
+
+    def test_default_core_counts_cover_the_machine(self):
+        sim = MachineSimulator(get_machine("haswell_desktop"))
+        sweep = sim.sweep(get_workload("memcached"))
+        assert sweep.max_cores == 8

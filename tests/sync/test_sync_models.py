@@ -1,0 +1,239 @@
+"""Tests for the synchronization substrates (locks, barriers, STM, lock-free)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sync import (
+    BarrierModel,
+    LockFreeModel,
+    MutexModel,
+    SpinlockModel,
+    StmModel,
+    SyncCost,
+    combine_costs,
+)
+
+WORK_CYCLES = 3000.0
+
+
+class TestSpinlock:
+    def _lock(self, **overrides) -> SpinlockModel:
+        kwargs = dict(acquires_per_op=1.0, critical_section_cycles=100.0, num_locks=1, kind="ttas")
+        kwargs.update(overrides)
+        return SpinlockModel(**kwargs)
+
+    def test_single_thread_never_spins(self):
+        cost = self._lock().cost(1, WORK_CYCLES)
+        assert cost.software_stall_cycles["lock_spin_cycles"] == 0.0
+
+    def test_spin_cycles_grow_with_threads(self):
+        lock = self._lock()
+        costs = [lock.cost(n, WORK_CYCLES).total_software_cycles for n in (2, 8, 24, 48)]
+        assert costs == sorted(costs)
+        assert costs[-1] > costs[0]
+
+    def test_striping_reduces_contention(self):
+        coarse = self._lock(num_locks=1).cost(24, WORK_CYCLES).total_software_cycles
+        striped = self._lock(num_locks=64).cost(24, WORK_CYCLES).total_software_cycles
+        assert striped < coarse
+
+    def test_ticket_lock_avoids_release_storm(self):
+        ttas = self._lock(kind="ttas").cost(48, WORK_CYCLES).total_software_cycles
+        ticket = self._lock(kind="ticket").cost(48, WORK_CYCLES).total_software_cycles
+        assert ticket <= ttas
+
+    def test_serialization_floor_accounts_for_striping(self):
+        coarse = self._lock(num_locks=1).cost(1, WORK_CYCLES).serialized_cycles
+        striped = self._lock(num_locks=10).cost(1, WORK_CYCLES).serialized_cycles
+        assert striped == pytest.approx(coarse / 10.0)
+
+    def test_utilisation_bounded(self):
+        lock = self._lock(critical_section_cycles=10_000.0)
+        assert lock.utilisation(48, WORK_CYCLES) <= 0.98
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            self._lock(kind="mcs")
+
+    def test_zero_acquires_is_free(self):
+        cost = self._lock(acquires_per_op=0.0).cost(48, WORK_CYCLES)
+        assert cost.total_software_cycles == 0.0
+
+
+class TestMutex:
+    def _mutex(self, **overrides) -> MutexModel:
+        kwargs = dict(acquires_per_op=1.0, critical_section_cycles=200.0, num_locks=1)
+        kwargs.update(overrides)
+        return MutexModel(**kwargs)
+
+    def test_single_thread_never_blocks(self):
+        assert self._mutex().cost(1, WORK_CYCLES).total_software_cycles == 0.0
+
+    def test_blocking_cost_exceeds_spinlock_at_moderate_contention(self):
+        # The regime of the paper's streamcluster fix: short critical sections,
+        # moderate contention — futex round trips dominate, so a test-and-set
+        # spinlock is cheaper than the pthread mutex it replaces.
+        work = 30_000.0
+        mutex = self._mutex().cost(24, work).total_software_cycles
+        spin = SpinlockModel(
+            acquires_per_op=1.0, critical_section_cycles=200.0, num_locks=1
+        ).cost(24, work).total_software_cycles
+        assert mutex > spin
+
+    def test_block_cycles_grow_with_threads(self):
+        mutex = self._mutex()
+        costs = [mutex.cost(n, WORK_CYCLES).total_software_cycles for n in (2, 12, 48)]
+        assert costs == sorted(costs)
+
+    def test_trylock_loop_reported(self):
+        looping = self._mutex(trylock_loop=True).cost(24, WORK_CYCLES)
+        assert looping.software_stall_cycles["lock_block_cycles"] > 0.0
+
+    def test_serialization_grows_under_contention(self):
+        light = self._mutex().cost(2, WORK_CYCLES).serialized_cycles
+        heavy = self._mutex().cost(48, WORK_CYCLES).serialized_cycles
+        assert heavy > light
+
+
+class TestBarrier:
+    def _barrier(self, **overrides) -> BarrierModel:
+        kwargs = dict(barriers_per_op=0.01, phase_cycles_per_op=2000.0, imbalance_cv=0.2)
+        kwargs.update(overrides)
+        return BarrierModel(**kwargs)
+
+    def test_single_thread_is_free(self):
+        assert self._barrier().cost(1, WORK_CYCLES).total_software_cycles == 0.0
+
+    def test_wait_grows_with_threads(self):
+        barrier = self._barrier()
+        costs = [barrier.cost(n, WORK_CYCLES).total_software_cycles for n in (2, 12, 48)]
+        assert costs == sorted(costs)
+
+    def test_imbalance_wait_scales_with_cv(self):
+        balanced = self._barrier(imbalance_cv=0.0).cost(24, WORK_CYCLES).total_software_cycles
+        skewed = self._barrier(imbalance_cv=0.4).cost(24, WORK_CYCLES).total_software_cycles
+        assert skewed > balanced
+
+    def test_trylock_barrier_is_more_expensive(self):
+        plain = self._barrier().cost(48, WORK_CYCLES).total_software_cycles
+        trylock = self._barrier(trylock_based=True).cost(48, WORK_CYCLES).total_software_cycles
+        assert trylock > plain
+
+    def test_expected_wait_fraction_grows_slowly(self):
+        barrier = self._barrier()
+        assert barrier.expected_wait_fraction(1) == 0.0
+        assert 0.0 < barrier.expected_wait_fraction(8) < barrier.expected_wait_fraction(48)
+
+
+class TestStm:
+    def _stm(self, **overrides) -> StmModel:
+        kwargs = dict(
+            tx_per_op=1.0,
+            tx_body_cycles=1000.0,
+            tx_accesses=100.0,
+            write_footprint=8.0,
+            conflict_table_size=20_000.0,
+            contention_growth=2.0,
+        )
+        kwargs.update(overrides)
+        return StmModel(**kwargs)
+
+    def test_single_thread_never_aborts(self):
+        stm = self._stm()
+        assert stm.aborts_per_commit(1) == 0.0
+        assert stm.cost(1, WORK_CYCLES).software_stall_cycles["stm_aborted_tx_cycles"] == 0.0
+
+    def test_aborts_grow_with_threads(self):
+        stm = self._stm()
+        aborts = [stm.aborts_per_commit(n) for n in (2, 12, 24, 48)]
+        assert aborts == sorted(aborts)
+        assert aborts[-1] > aborts[0]
+
+    def test_aborts_capped(self):
+        stm = self._stm(write_footprint=100.0, conflict_table_size=100.0, contention_growth=2.5)
+        assert stm.aborts_per_commit(48) <= 40.0
+
+    def test_abort_probability_consistent_with_aborts(self):
+        stm = self._stm()
+        aborts = stm.aborts_per_commit(24)
+        assert stm.abort_probability(24) == pytest.approx(aborts / (1.0 + aborts))
+
+    def test_bigger_conflict_table_means_fewer_aborts(self):
+        small = self._stm(conflict_table_size=1_000.0).aborts_per_commit(24)
+        large = self._stm(conflict_table_size=1_000_000.0).aborts_per_commit(24)
+        assert large < small
+
+    def test_aborted_cycles_proportional_to_tx_rate(self):
+        one = self._stm(tx_per_op=1.0).cost(24, WORK_CYCLES).total_software_cycles
+        two = self._stm(tx_per_op=2.0).cost(24, WORK_CYCLES).total_software_cycles
+        assert two == pytest.approx(2.0 * one, rel=1e-6)
+
+    def test_zero_transactions_is_free(self):
+        assert self._stm(tx_per_op=0.0).cost(48, WORK_CYCLES).total_software_cycles == 0.0
+
+    def test_committed_overhead_positive(self):
+        assert self._stm().committed_overhead_cycles() > 0.0
+
+
+class TestLockFree:
+    def _lf(self, **overrides) -> LockFreeModel:
+        kwargs = dict(cas_per_op=0.5, retry_body_cycles=200.0, hot_locations=1000.0)
+        kwargs.update(overrides)
+        return LockFreeModel(**kwargs)
+
+    def test_single_thread_never_retries(self):
+        assert self._lf().failure_probability(1) == 0.0
+
+    def test_failures_grow_with_threads_and_are_bounded(self):
+        lf = self._lf()
+        probs = [lf.failure_probability(n) for n in (2, 12, 48)]
+        assert probs == sorted(probs)
+        assert probs[-1] <= 0.9
+
+    def test_more_hot_locations_reduce_retries(self):
+        few = self._lf(hot_locations=10.0).cost(24, WORK_CYCLES).total_software_cycles
+        many = self._lf(hot_locations=100_000.0).cost(24, WORK_CYCLES).total_software_cycles
+        assert many < few
+
+    def test_read_only_workload_never_retries(self):
+        assert self._lf(update_fraction=0.0).failure_probability(48) == 0.0
+
+
+class TestSyncCost:
+    def test_combine_costs_sums_categories(self):
+        a = SyncCost(software_stall_cycles={"x": 1.0}, extra_coherence_accesses=2.0, serialized_cycles=3.0)
+        b = SyncCost(software_stall_cycles={"x": 4.0, "y": 5.0}, extra_coherence_accesses=1.0)
+        merged = combine_costs(a, b)
+        assert merged.software_stall_cycles == {"x": 5.0, "y": 5.0}
+        assert merged.extra_coherence_accesses == 3.0
+        assert merged.serialized_cycles == 3.0
+        assert merged.total_software_cycles == 10.0
+
+    def test_combine_nothing_is_empty(self):
+        merged = combine_costs()
+        assert merged.total_software_cycles == 0.0
+
+    @given(threads=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_all_models_produce_finite_nonnegative_costs(self, threads):
+        models = [
+            SpinlockModel(acquires_per_op=1.0, critical_section_cycles=100.0),
+            MutexModel(acquires_per_op=1.0, critical_section_cycles=100.0),
+            BarrierModel(barriers_per_op=0.01, phase_cycles_per_op=1000.0),
+            StmModel(
+                tx_per_op=1.0,
+                tx_body_cycles=500.0,
+                tx_accesses=50.0,
+                write_footprint=5.0,
+                conflict_table_size=10_000.0,
+            ),
+            LockFreeModel(cas_per_op=0.5, retry_body_cycles=100.0, hot_locations=100.0),
+        ]
+        for model in models:
+            cost = model.cost(threads, WORK_CYCLES)
+            assert cost.total_software_cycles >= 0.0
+            assert cost.extra_coherence_accesses >= 0.0
+            assert cost.serialized_cycles >= 0.0

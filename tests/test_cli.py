@@ -1,0 +1,96 @@
+"""Tests for the ``estima`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_predict_requires_target_cores(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict", "--workload", "genome", "--machine", "xeon20"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["measure", "--workload", "doom", "--machine", "xeon20", "--output", "x.json"]
+            )
+
+
+class TestCommands:
+    def test_list_prints_workloads_and_machines(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "intruder" in out
+        assert "opteron48" in out
+
+    def test_measure_writes_json(self, tmp_path, capsys):
+        output = tmp_path / "meas.json"
+        code = main(
+            [
+                "measure",
+                "--workload",
+                "genome",
+                "--machine",
+                "haswell_desktop",
+                "--cores",
+                "4",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["workload"] == "genome"
+        assert len(payload["measurements"]) == 4
+
+    def test_predict_from_measurement_file(self, tmp_path, capsys):
+        output = tmp_path / "meas.json"
+        main(
+            [
+                "measure",
+                "--workload",
+                "genome",
+                "--machine",
+                "xeon20",
+                "--cores",
+                "10",
+                "--output",
+                str(output),
+            ]
+        )
+        code = main(["predict", "--input", str(output), "--target-cores", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ESTIMA prediction" in out
+        assert "Bottleneck report" in out
+
+    def test_predict_needs_input_or_workload(self, capsys):
+        assert main(["predict", "--target-cores", "20"]) == 2
+
+    def test_predict_simulating_directly_with_baseline(self, capsys):
+        code = main(
+            [
+                "predict",
+                "--workload",
+                "blackscholes",
+                "--machine",
+                "xeon20",
+                "--measure-cores",
+                "10",
+                "--target-cores",
+                "20",
+                "--baseline",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Time-extrapolation baseline" in out

@@ -1,0 +1,163 @@
+"""Tests for the workload registry and the demand profiles of all 21 workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    PRODUCTION_WORKLOADS,
+    SOFTWARE_STALL_WORKLOADS,
+    STM_WORKLOADS,
+    TABLE4_WORKLOADS,
+    WORKLOADS,
+    Workload,
+    WorkloadProfile,
+    get_workload,
+    iter_workloads,
+    workload_names,
+)
+from repro.workloads.profiles import scaled_ops
+
+
+class TestRegistry:
+    def test_table4_has_19_benchmarks(self):
+        assert len(TABLE4_WORKLOADS) == 19
+
+    def test_two_production_applications(self):
+        assert set(PRODUCTION_WORKLOADS) == {"memcached", "sqlite_tpcc"}
+
+    def test_stamp_suite_complete(self):
+        assert set(STM_WORKLOADS) == {
+            "genome",
+            "intruder",
+            "kmeans",
+            "labyrinth",
+            "ssca2",
+            "vacation_high",
+            "vacation_low",
+            "yada",
+        }
+
+    def test_total_registered_workloads_cover_paper_plus_variants(self):
+        # 19 benchmarks + 2 production + 2 optimized variants (Section 4.6)
+        assert len(WORKLOADS) == 23
+
+    def test_every_name_resolves(self):
+        for name in workload_names():
+            workload = get_workload(name)
+            assert isinstance(workload, Workload)
+            assert workload.name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("quicksort")
+
+    def test_iter_workloads_defaults_to_table4(self):
+        names = [name for name, _ in iter_workloads()]
+        assert names == list(TABLE4_WORKLOADS)
+
+    def test_software_stall_workloads_report_them(self):
+        for name in SOFTWARE_STALL_WORKLOADS:
+            assert get_workload(name).reports_software_stalls, name
+
+    def test_stm_workloads_expose_stm_profile(self):
+        for name in STM_WORKLOADS:
+            assert get_workload(name).uses_stm, name
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_every_profile_is_valid(self, name):
+        profile = get_workload(name).profile()
+        assert isinstance(profile, WorkloadProfile)
+        assert profile.total_ops > 0
+        assert profile.mix.instructions_per_op > 0
+        assert 0.0 <= profile.shared_access_fraction <= 1.0
+        assert 0.0 <= profile.locality <= 1.0
+        assert profile.noise_level < 0.2
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_dataset_scaling_increases_footprint(self, name):
+        workload = get_workload(name)
+        small = workload.profile(1.0)
+        big = workload.profile(2.0)
+        assert big.total_working_set_mb >= small.total_working_set_mb
+        assert big.total_ops >= small.total_ops
+
+    def test_blackscholes_is_embarrassingly_parallel(self):
+        profile = get_workload("blackscholes").profile()
+        assert profile.sync_models() == ()
+        assert profile.shared_access_fraction < 0.05
+
+    def test_intruder_and_yada_are_contended_stm(self):
+        for name in ("intruder", "yada"):
+            profile = get_workload(name).profile()
+            assert profile.stm is not None
+            assert profile.stm.aborts_per_commit(48) > 2.0, name
+
+    def test_genome_has_low_contention(self):
+        profile = get_workload("genome").profile()
+        assert profile.stm is not None
+        assert profile.stm.aborts_per_commit(48) < 1.0
+
+    def test_streamcluster_uses_trylock_barriers(self):
+        profile = get_workload("streamcluster").profile()
+        assert profile.barrier is not None and profile.barrier.trylock_based
+        optimized = get_workload("streamcluster_spinlock").profile()
+        assert optimized.barrier is not None and not optimized.barrier.trylock_based
+
+    def test_intruder_batching_widens_conflict_table(self):
+        base = get_workload("intruder").profile()
+        batched = get_workload("intruder_batch4").profile()
+        assert batched.stm.conflict_table_size > base.stm.conflict_table_size
+        assert batched.stm.tx_per_op < base.stm.tx_per_op
+
+    def test_sqlite_has_a_single_writer_lock(self):
+        profile = get_workload("sqlite_tpcc").profile()
+        assert profile.locks is not None
+        assert profile.locks.num_locks == 1
+
+    def test_memcached_is_read_mostly(self):
+        profile = get_workload("memcached").profile()
+        assert profile.shared_write_fraction < 0.15
+
+    def test_lock_free_variants_have_no_locks(self):
+        for name in ("lock_free_ht", "lock_free_sl"):
+            profile = get_workload(name).profile()
+            assert profile.locks is None
+            assert profile.lockfree is not None
+
+    def test_knn_work_grows_quadratically_with_dataset(self):
+        workload = get_workload("knn")
+        assert workload.profile(2.0).total_ops == pytest.approx(
+            4.0 * workload.profile(1.0).total_ops
+        )
+
+    def test_profile_with_returns_modified_copy(self):
+        profile = get_workload("genome").profile()
+        other = profile.with_(serial_fraction=0.5)
+        assert other.serial_fraction == 0.5
+        assert profile.serial_fraction != 0.5
+
+    def test_invalid_profile_fields_rejected(self):
+        profile = get_workload("genome").profile()
+        with pytest.raises(ValueError):
+            profile.with_(shared_access_fraction=1.5)
+        with pytest.raises(ValueError):
+            profile.with_(total_ops=0.0)
+        with pytest.raises(ValueError):
+            profile.with_(locality=-0.1)
+
+
+class TestScaledOps:
+    def test_linear_scaling(self):
+        assert scaled_ops(100.0, 2.0) == 200.0
+
+    def test_exponent(self):
+        assert scaled_ops(100.0, 4.0, exponent=0.5) == pytest.approx(200.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            scaled_ops(0.0, 1.0)
+        with pytest.raises(ValueError):
+            scaled_ops(1.0, 0.0)
