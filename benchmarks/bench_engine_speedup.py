@@ -1,0 +1,75 @@
+"""Engine microbench: serial vs parallel campaign wall time, and fit caching.
+
+Not a paper figure — this bench records what the execution-engine layer buys:
+the same multi-workload campaign is timed on the serial reference backend and
+on the process-pool backend (speedup scales with core count; on a single-core
+host the two are expected to tie), plus a cached run showing the fit/
+extrapolation/prediction cache hit counters.  The rows of all runs are
+asserted identical, the engine's core guarantee.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import OPTERON_GRID, run_once
+from repro.core import EstimaConfig
+from repro.machine import get_machine
+from repro.runner import ErrorCampaign
+
+#: Small fixed workload set so the bench times the engine, not 19 pipelines.
+ENGINE_BENCH_WORKLOADS = ("lock_free_ht", "genome", "intruder", "kmeans")
+
+
+def _campaign(config: EstimaConfig | None = None, executor: str | None = None):
+    return ErrorCampaign(
+        machine=get_machine("opteron48"),
+        measurement_cores=12,
+        targets={"2 CPUs": 24, "4 CPUs": 48},
+        config=config or EstimaConfig(),
+        core_counts=OPTERON_GRID,
+        executor=executor,
+    )
+
+
+def bench_engine_serial_vs_parallel(benchmark):
+    def pipeline():
+        wall: dict[str, float] = {}
+        results = {}
+        for name, executor in (("serial", "serial"), ("parallel", "parallel")):
+            start = time.perf_counter()
+            results[name] = _campaign(executor=executor).run(ENGINE_BENCH_WORKLOADS)
+            wall[name] = time.perf_counter() - start
+        return wall, results
+
+    wall, results = run_once(benchmark, pipeline)
+    assert results["serial"].rows == results["parallel"].rows
+    speedup = wall["serial"] / wall["parallel"]
+    print()
+    print(f"# Engine speedup: {len(ENGINE_BENCH_WORKLOADS)}-workload campaign, "
+          f"{os.cpu_count()} CPU(s)")
+    print(f"serial   : {wall['serial']:.2f} s")
+    print(f"parallel : {wall['parallel']:.2f} s  (speedup {speedup:.2f}x)")
+    print("rows identical across backends: True")
+
+
+def bench_engine_fit_cache(benchmark):
+    def pipeline():
+        start = time.perf_counter()
+        result = _campaign(config=EstimaConfig(use_fit_cache=True)).run(
+            ENGINE_BENCH_WORKLOADS
+        )
+        return time.perf_counter() - start, result
+
+    wall, cached = run_once(benchmark, pipeline)
+    plain = _campaign().run(ENGINE_BENCH_WORKLOADS)
+    assert cached.rows == plain.rows
+    caches = (cached.engine_stats or {}).get("caches", {})
+    print()
+    print(f"# Engine fit-cache campaign: {wall:.2f} s; rows identical to uncached: True")
+    for region, counts in sorted(caches.items()):
+        lookups = counts.get("hits", 0) + counts.get("misses", 0)
+        if lookups:
+            print(f"{region:>13s}: {counts.get('hits', 0)}/{lookups} hits")
+    assert caches.get("prediction", {}).get("hits", 0) > 0

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Consume ESTIMA predictions programmatically via ``estima predict --json``.
+
+Downstream tooling (capacity planners, dashboards, CI gates) should not scrape
+text tables.  ``estima predict --json`` emits one JSON document with the full
+prediction — times, stalls per core, chosen kernels, bottleneck ranking — and
+this example shows the intended pipeline: invoke the CLI, parse the document,
+and act on it (here: a toy provisioning rule that picks the cheapest core
+count within 10% of peak predicted performance).
+
+Run with ``python examples/machine_readable_pipeline.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+
+from repro.cli import main as estima
+
+
+def fetch_prediction(workload: str, machine: str, measure: int, target: int) -> dict:
+    """Run the CLI exactly as a subprocess would and parse its JSON output."""
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        code = estima(
+            [
+                "predict",
+                "--workload", workload,
+                "--machine", machine,
+                "--measure-cores", str(measure),
+                "--target-cores", str(target),
+                "--json",
+            ]
+        )
+    if code != 0:
+        raise RuntimeError(f"estima predict failed with exit code {code}")
+    return json.loads(stdout.getvalue())
+
+
+def cheapest_good_core_count(payload: dict, *, slack: float = 0.10) -> int:
+    """Smallest core count whose predicted time is within ``slack`` of the best."""
+    times = payload["predicted_times_s"]
+    best = min(times)
+    for cores, time in zip(payload["prediction_cores"], times):
+        if time <= best * (1.0 + slack):
+            return cores
+    return payload["predicted_peak_cores"]
+
+
+def main() -> None:
+    payload = fetch_prediction("intruder", "opteron48", measure=12, target=48)
+
+    print(f"workload            : {payload['workload']} on {payload['machine']}")
+    print(f"measured cores      : {payload['measured_cores']}")
+    print(f"predicted peak      : {payload['predicted_peak_cores']} cores")
+    print(f"scaling factor      : {payload['scaling_factor']['kernel']} "
+          f"(corr {payload['scaling_factor']['correlation']:.3f})")
+    top = payload["dominant_categories"][0]
+    print(f"dominant bottleneck : {top['category']} ({top['fraction']:.0%} of stalls)")
+
+    recommended = cheapest_good_core_count(payload)
+    time_at = payload["predicted_times_s"][recommended - 1]
+    print(f"\nprovisioning rule   : run on {recommended} cores "
+          f"(predicted {time_at:.2f}s, within 10% of peak)")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,21 +14,34 @@ simulation substrate:
     ``estima predict --input meas.json`` can consume later — the same
     file-oriented flow the original tool uses with real ``perf`` data.
 
+``estima campaign --machine opteron48 --measure-cores 12 --targets "2 CPUs=24,4 CPUs=48" --workloads genome,intruder``
+    Run a multi-workload, multi-target error campaign (a Table-4 style run)
+    on the execution engine.  ``--executor parallel[:N]`` fans the workloads
+    out over a process pool and ``--fit-cache`` memoizes kernel fits; both are
+    verified to produce the same numbers as the serial default.
+
 ``estima list``
     Show the available workloads and machines.
+
+``estima predict --json`` emits a machine-readable JSON document instead of
+text tables so downstream tooling can consume predictions without scraping.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.analysis.bottleneck import BottleneckReport
 from repro.core import EstimaConfig, EstimaPredictor, MeasurementSet, TimeExtrapolation
+from repro.engine.executor import get_executor
 from repro.machine.machines import MACHINES, get_machine
+from repro.runner.campaign import ErrorCampaign
+from repro.runner.io import save_table
 from repro.simulation import MachineSimulator
-from repro.workloads.registry import WORKLOADS, get_workload
+from repro.workloads.registry import TABLE4_WORKLOADS, WORKLOADS, get_workload
 
 __all__ = ["main", "build_parser"]
 
@@ -62,7 +75,54 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--no-software-stalls", action="store_true")
     predict.add_argument("--baseline", action="store_true", help="also run time extrapolation")
     predict.add_argument("--dataset-ratio", type=float, default=1.0)
+    predict.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit a machine-readable JSON document instead of text tables",
+    )
     predict.set_defaults(func=_cmd_predict)
+
+    campaign = sub.add_parser(
+        "campaign", help="run a multi-workload, multi-target error campaign"
+    )
+    campaign.add_argument("--machine", required=True, choices=sorted(MACHINES))
+    campaign.add_argument("--measure-cores", type=int, required=True)
+    campaign.add_argument(
+        "--targets",
+        required=True,
+        help="comma-separated prediction targets, each 'label=cores' or a bare core count",
+    )
+    campaign.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated workload names (default: the Table-4 set)",
+    )
+    campaign.add_argument(
+        "--core-counts",
+        default=None,
+        help="comma-separated core counts to sweep (default: every machine core count)",
+    )
+    campaign.add_argument(
+        "--executor",
+        default=None,
+        help="execution backend: serial, parallel or parallel:<workers> "
+        "(default: $ESTIMA_EXECUTOR or serial)",
+    )
+    campaign.add_argument(
+        "--fit-cache",
+        action="store_true",
+        help="memoize kernel fits and extrapolations (identical numbers, fewer solves)",
+    )
+    campaign.add_argument("--no-software-stalls", action="store_true")
+    campaign.add_argument("--output", default=None, help="also write the rows as CSV")
+    campaign.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit rows and aggregates as JSON instead of the text table",
+    )
+    campaign.set_defaults(func=_cmd_campaign)
     return parser
 
 
@@ -118,6 +178,43 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         dataset_ratio=args.dataset_ratio,
     )
     prediction = EstimaPredictor(config).predict(measurements, target_cores=args.target_cores)
+    baseline = (
+        TimeExtrapolation(config).predict(measurements, target_cores=args.target_cores)
+        if args.baseline
+        else None
+    )
+
+    if args.as_json:
+        payload = {
+            "workload": prediction.workload,
+            "machine": prediction.machine,
+            "measured_cores": [int(c) for c in prediction.measured.cores],
+            "target_cores": prediction.target_cores,
+            "predicted_peak_cores": prediction.predicted_peak_cores(),
+            "prediction_cores": [int(c) for c in prediction.prediction_cores],
+            "predicted_times_s": [float(t) for t in prediction.predicted_times],
+            "stalls_per_core": [float(s) for s in prediction.stalls_per_core],
+            "scaling_factor": {
+                "kernel": prediction.scaling_factor.kernel_name,
+                "correlation": float(prediction.scaling_factor.correlation),
+            },
+            "category_kernels": {
+                name: result.kernel_name
+                for name, result in prediction.category_extrapolations.items()
+            },
+            "dominant_categories": [
+                {"category": name, "fraction": float(fraction)}
+                for name, fraction in prediction.dominant_categories(prediction.target_cores)
+            ],
+        }
+        if baseline is not None:
+            payload["baseline"] = {
+                "predicted_peak_cores": baseline.predicted_peak_cores(),
+                "predicted_times_s": [float(t) for t in baseline.predicted_times],
+            }
+        print(json.dumps(payload, indent=2))
+        return 0
+
     print(prediction.summary())
     print()
     print(f"{'cores':>6s} {'predicted time (s)':>20s} {'stalls/core':>16s}")
@@ -129,10 +226,133 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     print()
     print(BottleneckReport.from_prediction(prediction).format_report())
 
-    if args.baseline:
-        baseline = TimeExtrapolation(config).predict(measurements, target_cores=args.target_cores)
+    if baseline is not None:
         print("\nTime-extrapolation baseline:")
         print(f"  predicted best core count: {baseline.predicted_peak_cores()}")
+    return 0
+
+
+def _parse_targets(spec: str) -> dict[str, int]:
+    """Parse ``"2 CPUs=24,4 CPUs=48"`` or ``"24,48"`` into label -> cores."""
+    targets: dict[str, int] = {}
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        label, sep, cores = entry.partition("=")
+        if sep:
+            targets[label.strip()] = int(cores)
+        else:
+            targets[f"{int(entry)} cores"] = int(entry)
+    if not targets:
+        raise ValueError(f"no prediction targets in {spec!r}")
+    return targets
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    machine = get_machine(args.machine)
+    try:
+        targets = _parse_targets(args.targets)
+    except ValueError as exc:
+        print(f"invalid --targets: {exc}", file=sys.stderr)
+        return 2
+    workloads = (
+        [w.strip() for w in args.workloads.split(",") if w.strip()]
+        if args.workloads
+        else list(TABLE4_WORKLOADS)
+    )
+    unknown = [w for w in workloads if w not in WORKLOADS]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    if args.executor is not None:
+        try:
+            get_executor(args.executor)
+        except ValueError as exc:
+            print(f"invalid --executor: {exc}", file=sys.stderr)
+            return 2
+    try:
+        core_counts = (
+            [int(c) for c in args.core_counts.split(",")] if args.core_counts else None
+        )
+    except ValueError:
+        print(
+            f"invalid --core-counts: expected comma-separated integers, got {args.core_counts!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = EstimaConfig(
+        use_software_stalls=not args.no_software_stalls,
+        use_fit_cache=args.fit_cache,
+    )
+    campaign = ErrorCampaign(
+        machine=machine,
+        measurement_cores=args.measure_cores,
+        targets=targets,
+        config=config,
+        core_counts=core_counts,
+        executor=args.executor,
+    )
+    result = campaign.run(workloads)
+
+    if args.output:
+        rows = [
+            {
+                "workload": row.workload,
+                **{f"estima[{label}]": row.max_errors_pct[label] for label in targets},
+                **{f"baseline[{label}]": row.baseline_errors_pct[label] for label in targets},
+                "behaviour_correct": row.behaviour_correct,
+            }
+            for row in result.rows
+        ]
+        save_table(rows, args.output)
+
+    if args.as_json:
+        payload = {
+            "machine": result.machine,
+            "measurement_cores": result.measurement_cores,
+            "target_labels": list(result.target_labels),
+            "rows": [
+                {
+                    "workload": row.workload,
+                    "max_errors_pct": {k: float(v) for k, v in row.max_errors_pct.items()},
+                    "baseline_errors_pct": {
+                        k: float(v) for k, v in row.baseline_errors_pct.items()
+                    },
+                    "behaviour_correct": bool(row.behaviour_correct),
+                }
+                for row in result.rows
+            ],
+            "aggregates": {
+                label: {
+                    "average_error_pct": result.average_error(label),
+                    "std_error_pct": result.std_error(label),
+                    "max_error_pct": result.max_error(label),
+                }
+                for label in result.target_labels
+            },
+            "all_behaviours_correct": bool(result.all_behaviours_correct()),
+            "engine": result.engine_stats,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(result.format_table())
+    stats = result.engine_stats or {}
+    caches = stats.get("caches", {})
+    cache_text = ", ".join(
+        f"{region} {counts.get('hits', 0)}/{counts.get('hits', 0) + counts.get('misses', 0)} hits"
+        for region, counts in sorted(caches.items())
+        if counts.get("hits", 0) or counts.get("misses", 0)
+    )
+    print(
+        f"\nengine: executor={stats.get('executor', '?')} "
+        f"workloads={stats.get('workloads', len(result.rows))}"
+        + (f" | cache: {cache_text}" if cache_text else "")
+    )
+    if args.output:
+        print(f"rows written to {args.output}")
     return 0
 
 

@@ -54,6 +54,23 @@ class EstimaConfig:
     max_extrapolation_factor:
         Realism bound: a fit whose extrapolated values exceed this multiple of
         the largest training value is discarded as "not realistic".
+    executor:
+        Execution backend for campaign/experiment fan-out: ``"serial"`` (the
+        default, bit-identical reference path) or ``"parallel"`` (a process
+        pool; see :mod:`repro.engine.executor`).  ``ESTIMA_EXECUTOR`` in the
+        environment overrides the ``"serial"`` default.
+    max_workers:
+        Worker-process count for the parallel backend; ``0`` sizes the pool
+        to the machine's CPU count.
+    use_fit_cache:
+        Enable the engine's content-addressed memoization of ``fit_kernel``
+        and ``extrapolate_series`` results (see :mod:`repro.engine.cache`).
+        Off by default; the cached path is verified to produce identical
+        numbers but keeps state across runs.
+
+    None of the engine knobs (``executor``, ``max_workers``,
+    ``use_fit_cache``) affect predicted numbers — only how fast they are
+    produced.
     """
 
     kernel_names: tuple[str, ...] = DEFAULT_KERNEL_NAMES
@@ -65,12 +82,22 @@ class EstimaConfig:
     dataset_ratio: float = 1.0
     max_extrapolation_factor: float = 1e4
     random_seed: int = 0
+    executor: str = "serial"
+    max_workers: int = 0
+    use_fit_cache: bool = False
 
     def __post_init__(self) -> None:
         if self.checkpoints < 1:
             raise ValueError("checkpoints must be >= 1")
         if self.min_prefix < 2:
             raise ValueError("min_prefix must be >= 2")
+        base_executor = self.executor.partition(":")[0]
+        if base_executor not in ("serial", "parallel"):
+            raise ValueError(
+                f"executor must be 'serial', 'parallel' or 'parallel:<n>', got {self.executor!r}"
+            )
+        if self.max_workers < 0:
+            raise ValueError("max_workers must be >= 0 (0 = auto)")
         if self.frequency_ratio <= 0.0:
             raise ValueError("frequency_ratio must be positive")
         if self.dataset_ratio <= 0.0:

@@ -9,6 +9,17 @@ checkpoints.
 Values are normalised to their mean before fitting so that the generic
 initial guesses work for series spanning very different magnitudes
 (raw cycle counts are ~1e9-1e12, scaling factors are ~1e-9).
+
+Both public entry points (:func:`fit_kernel`, :func:`fit_all_starts`) share
+one multi-start helper, so under-determined series — fewer points than kernel
+parameters, e.g. the 3-point memcached desktop runs of Section 4.3 — take the
+same trust-region path everywhere instead of failing in one of them.
+
+When the engine's fit cache is enabled (``EstimaConfig(use_fit_cache=True)``
+or ``ESTIMA_FIT_CACHE=1``), :func:`fit_kernel` results are memoized
+content-addressed on (kernel name, core counts, value bytes, ``max_nfev``);
+see :mod:`repro.engine.cache`.  Fits are deterministic, so a cached result is
+bit-identical to a recomputed one.
 """
 
 from __future__ import annotations
@@ -18,6 +29,8 @@ from typing import Sequence
 
 import numpy as np
 from scipy import optimize
+
+from repro.engine.cache import FIT_CACHE, fit_key
 
 from .kernels import Kernel
 
@@ -92,56 +105,49 @@ def _linear_design(kernel_name: str, x: np.ndarray) -> np.ndarray | None:
     return None
 
 
-def fit_kernel(
+def _multi_start_fits(
     kernel: Kernel,
-    cores: Sequence[int] | np.ndarray,
-    values: Sequence[float] | np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
     *,
-    max_nfev: int = 600,
-) -> FittedFunction | None:
-    """Fit ``kernel`` to ``(cores, values)``; return None when nothing converges.
+    max_nfev: int,
+) -> list[FittedFunction]:
+    """Every converged fit of ``kernel`` to a validated, finite series.
 
-    Multi-start: each initial guess from the kernel is tried and the converged
-    solution with the lowest training RMSE wins.  Returns ``None`` when the
-    series is shorter than the parameter count (under-determined) or when no
-    start converges to a finite solution.
+    Kernels that are linear in their parameters are solved directly by
+    ordinary least squares (one exact solution, no multi-start).  Otherwise
+    each initial guess is tried with non-linear least squares.  With fewer
+    points than parameters the problem is under-determined; Levenberg-
+    Marquardt cannot be used, but a trust-region solve from each starting
+    point still yields a usable (if weakly constrained) fit — this matters
+    for very short measurement series such as the 3-point memcached desktop
+    runs of Section 4.3.
     """
-    x = np.asarray(cores, dtype=float)
-    y = np.asarray(values, dtype=float)
-    if x.ndim != 1 or y.shape != x.shape:
-        raise ValueError("cores and values must be 1-D arrays of equal length")
-    if x.size < 2:
-        return None
-    if np.any(~np.isfinite(y)):
-        return None
-    # With fewer points than parameters the problem is under-determined;
-    # Levenberg-Marquardt cannot be used, but a trust-region solve from each
-    # starting point still yields a usable (if weakly constrained) fit.  This
-    # matters for very short measurement series such as the 3-point memcached
-    # desktop runs of Section 4.3.
     underdetermined = x.size < kernel.n_params
-
     scale = float(np.mean(np.abs(y)))
     if scale == 0.0 or not np.isfinite(scale):
         scale = 1.0
     y_norm = y / scale
+    train_cores = tuple(int(c) for c in x)
 
     design = _linear_design(kernel.name, x)
     if design is not None:
         params, *_ = np.linalg.lstsq(design, y_norm, rcond=None)
         if not np.all(np.isfinite(params)):
-            return None
+            return []
         pred = design @ params
         rmse = float(np.sqrt(np.mean((pred - y_norm) ** 2))) * scale
-        return FittedFunction(
-            kernel=kernel,
-            params=tuple(float(p) for p in params),
-            scale=scale,
-            train_cores=tuple(int(c) for c in x),
-            train_rmse=rmse,
-        )
+        return [
+            FittedFunction(
+                kernel=kernel,
+                params=tuple(float(p) for p in params),
+                scale=scale,
+                train_cores=train_cores,
+                train_rmse=rmse,
+            )
+        ]
 
-    best: FittedFunction | None = None
+    fits: list[FittedFunction] = []
     for guess in kernel.initial_guesses:
         try:
             result = optimize.least_squares(
@@ -158,54 +164,80 @@ def fit_kernel(
         if not np.all(np.isfinite(pred)):
             continue
         rmse = float(np.sqrt(np.mean((pred - y_norm) ** 2))) * scale
-        candidate = FittedFunction(
-            kernel=kernel,
-            params=tuple(float(p) for p in result.x),
-            scale=scale,
-            train_cores=tuple(int(c) for c in x),
-            train_rmse=rmse,
+        fits.append(
+            FittedFunction(
+                kernel=kernel,
+                params=tuple(float(p) for p in result.x),
+                scale=scale,
+                train_cores=train_cores,
+                train_rmse=rmse,
+            )
         )
-        if best is None or candidate.train_rmse < best.train_rmse:
-            best = candidate
-    return best
+    return fits
+
+
+def _validate_series(
+    cores: Sequence[int] | np.ndarray, values: Sequence[float] | np.ndarray
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Shared input validation; ``None`` marks an unfittable series."""
+    x = np.asarray(cores, dtype=float)
+    y = np.asarray(values, dtype=float)
+    if x.ndim != 1 or y.shape != x.shape:
+        raise ValueError("cores and values must be 1-D arrays of equal length")
+    if x.size < 2:
+        return None
+    if np.any(~np.isfinite(y)):
+        return None
+    return x, y
+
+
+def fit_kernel(
+    kernel: Kernel,
+    cores: Sequence[int] | np.ndarray,
+    values: Sequence[float] | np.ndarray,
+    *,
+    max_nfev: int = 600,
+) -> FittedFunction | None:
+    """Fit ``kernel`` to ``(cores, values)``; return None when nothing converges.
+
+    Multi-start: each initial guess from the kernel is tried and the converged
+    solution with the lowest training RMSE wins.  Returns ``None`` when the
+    series has fewer than two points or when no start converges to a finite
+    solution.
+    """
+    validated = _validate_series(cores, values)
+    if validated is None:
+        return None
+    x, y = validated
+
+    def compute() -> FittedFunction | None:
+        best: FittedFunction | None = None
+        for candidate in _multi_start_fits(kernel, x, y, max_nfev=max_nfev):
+            if best is None or candidate.train_rmse < best.train_rmse:
+                best = candidate
+        return best
+
+    if not FIT_CACHE.enabled:
+        return compute()
+    return FIT_CACHE.get_or_compute(fit_key(kernel.name, x, y, max_nfev), compute)
 
 
 def fit_all_starts(
     kernel: Kernel,
     cores: Sequence[int] | np.ndarray,
     values: Sequence[float] | np.ndarray,
+    *,
+    max_nfev: int = 2000,
 ) -> list[FittedFunction]:
-    """Return every converged multi-start fit (mainly for diagnostics/tests)."""
-    x = np.asarray(cores, dtype=float)
-    y = np.asarray(values, dtype=float)
-    if x.size < kernel.n_params:
+    """Return every converged multi-start fit (mainly for diagnostics/tests).
+
+    Shares the multi-start helper with :func:`fit_kernel`, so under-determined
+    series fall back to the trust-region solver instead of silently producing
+    no fits (kernels linear in their parameters yield their single exact
+    least-squares solution).
+    """
+    validated = _validate_series(cores, values)
+    if validated is None:
         return []
-    scale = float(np.mean(np.abs(y))) or 1.0
-    y_norm = y / scale
-    fits: list[FittedFunction] = []
-    for guess in kernel.initial_guesses:
-        try:
-            result = optimize.least_squares(
-                _residuals(kernel, x, y_norm),
-                x0=np.asarray(guess, dtype=float),
-                method="lm",
-                max_nfev=2000,
-            )
-        except (ValueError, FloatingPointError):
-            continue
-        if not np.all(np.isfinite(result.x)):
-            continue
-        pred = kernel.func(x, *result.x)
-        if not np.all(np.isfinite(pred)):
-            continue
-        rmse = float(np.sqrt(np.mean((pred - y_norm) ** 2))) * scale
-        fits.append(
-            FittedFunction(
-                kernel=kernel,
-                params=tuple(float(p) for p in result.x),
-                scale=scale,
-                train_cores=tuple(int(c) for c in x),
-                train_rmse=rmse,
-            )
-        )
-    return fits
+    x, y = validated
+    return _multi_start_fits(kernel, x, y, max_nfev=max_nfev)

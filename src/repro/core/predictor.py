@@ -15,13 +15,22 @@ Cross-machine frequency scaling and weak-scaling dataset scaling are applied
 exactly where the paper applies them: the frequency ratio rescales the
 measured times before the factor is formed (Section 4.3), and the dataset
 ratio rescales the extrapolated stall values (Section 4.5).
+
+Batch workloads should prefer :meth:`EstimaPredictor.predict_batch`, which
+routes through the engine's :class:`~repro.engine.service.PredictionService`
+so shared extrapolation work is computed once; kernel fits additionally go
+through the engine's content-addressed cache when
+``EstimaConfig(use_fit_cache=True)`` is set.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.engine.service import PredictionRequest
 
 from .config import EstimaConfig
 from .measurement import MeasurementSet
@@ -178,3 +187,35 @@ class EstimaPredictor:
             dataset_ratio=cfg.dataset_ratio,
             frequency_ratio=cfg.frequency_ratio,
         )
+
+    # ------------------------------------------------------------------ #
+    # Batched pipeline (engine-backed)
+    # ------------------------------------------------------------------ #
+    def predict_batch(
+        self,
+        requests: Iterable["PredictionRequest | tuple[MeasurementSet, int]"],
+        *,
+        share_max_target: bool = False,
+    ) -> list[ScalabilityPrediction]:
+        """Serve many predictions through the engine's batched service.
+
+        Requests may be :class:`~repro.engine.service.PredictionRequest`
+        objects or plain ``(measurements, target_cores)`` pairs.  Requests
+        with identical content are computed once; with
+        ``share_max_target=True`` requests differing only in target share one
+        computation at the largest target (campaign semantics — see
+        :class:`~repro.engine.service.PredictionService`).
+
+        The import is deferred because the engine's service layer builds on
+        this module.
+        """
+        from repro.engine.service import PredictionRequest, PredictionService
+
+        service = PredictionService(self.config, share_max_target=share_max_target)
+        normalised = [
+            request
+            if isinstance(request, PredictionRequest)
+            else PredictionRequest(measurements=request[0], target_cores=int(request[1]))
+            for request in requests
+        ]
+        return service.predict_batch(normalised)

@@ -23,6 +23,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.engine.cache import EXTRAPOLATION_CACHE, extrapolation_key
+
 from .config import EstimaConfig
 from .fitting import FittedFunction, fit_kernel
 from .metrics import rmse
@@ -152,9 +154,41 @@ def extrapolate_series(
     Raises ``RuntimeError`` when no kernel produces a realistic fit, which in
     practice only happens on degenerate inputs (constant zero series are
     handled by the caller).
+
+    When the engine's extrapolation cache is enabled the chosen fit is
+    memoized on the series content, ``target_cores`` and the config fields
+    that influence it — every input the selection depends on, so a cached
+    result is always bit-identical to a recomputed one.
     """
     x = np.asarray(cores, dtype=float)
     y = np.asarray(values, dtype=float)
+    if not EXTRAPOLATION_CACHE.enabled:
+        return _extrapolate_series_impl(
+            x, y, config, target_cores=target_cores, category=category,
+            allow_negative=allow_negative,
+        )
+    key = extrapolation_key(
+        x, y, config, target_cores=target_cores, category=category,
+        allow_negative=allow_negative,
+    )
+    return EXTRAPOLATION_CACHE.get_or_compute(
+        key,
+        lambda: _extrapolate_series_impl(
+            x, y, config, target_cores=target_cores, category=category,
+            allow_negative=allow_negative,
+        ),
+    )
+
+
+def _extrapolate_series_impl(
+    x: np.ndarray,
+    y: np.ndarray,
+    config: EstimaConfig,
+    *,
+    target_cores: int,
+    category: str,
+    allow_negative: bool,
+) -> ExtrapolationResult:
     candidates, checkpoint_cores = candidate_fits(
         x, y, config, target_cores=target_cores, allow_negative=allow_negative
     )
@@ -174,7 +208,7 @@ def extrapolate_series(
     chosen = min(candidates, key=lambda c: c.checkpoint_rmse)
     return ExtrapolationResult(
         category=category,
-        cores=np.asarray(cores, dtype=int),
+        cores=np.asarray(x, dtype=int),
         values=y.copy(),
         chosen=chosen,
         candidates=tuple(sorted(candidates, key=lambda c: c.checkpoint_rmse)),

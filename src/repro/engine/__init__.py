@@ -1,0 +1,84 @@
+"""Execution engine: the shared substrate every ESTIMA pipeline runs on.
+
+The engine layer sits between :mod:`repro.core` (the numerics) and
+:mod:`repro.runner` / :mod:`repro.cli` (the workflows) and provides three
+pieces:
+
+* :mod:`repro.engine.executor` — pluggable :class:`Executor` backends
+  (``serial`` / ``parallel``) that map independent experiment and fit tasks
+  with deterministic result ordering;
+* :mod:`repro.engine.cache` — content-addressed memoization of
+  ``fit_kernel`` / ``extrapolate_series`` / prediction results with hit/miss
+  statistics;
+* :mod:`repro.engine.service` — a batched :class:`PredictionService` that
+  deduplicates the shared extrapolation work behind the multiple targets a
+  campaign evaluates.
+
+Picking a backend
+-----------------
+The serial path is the default and reproduces the seed numerics bit for bit.
+Parallel and cached paths are opt-in and verified equal by the test suite:
+
+* per run: ``EstimaConfig(executor="parallel", max_workers=8,
+  use_fit_cache=True)`` or an ``Executor`` instance passed to
+  ``ErrorCampaign`` / ``Experiment.run_many``;
+* per process: ``ESTIMA_EXECUTOR=parallel[:N]`` and ``ESTIMA_FIT_CACHE=1``;
+* per command: ``estima campaign --executor parallel --fit-cache``.
+
+:mod:`repro.core.fitting` and :mod:`repro.core.regression` consult the cache
+layer directly, so this package's ``__init__`` must stay importable from the
+core layer: it imports only the dependency-free ``cache`` and ``executor``
+modules eagerly and loads ``service`` (which depends on core) lazily.
+"""
+
+from .cache import (
+    EXTRAPOLATION_CACHE,
+    FIT_CACHE,
+    CacheStats,
+    ContentCache,
+    cache_stats,
+    caches_enabled,
+    clear_caches,
+    get_cache,
+    reset_cache_stats,
+    set_caches_enabled,
+)
+from .executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    executor_for_config,
+    get_executor,
+)
+
+__all__ = [
+    "CacheStats",
+    "ContentCache",
+    "EXTRAPOLATION_CACHE",
+    "Executor",
+    "FIT_CACHE",
+    "ParallelExecutor",
+    "PredictionRequest",
+    "PredictionService",
+    "SerialExecutor",
+    "cache_stats",
+    "caches_enabled",
+    "clear_caches",
+    "executor_for_config",
+    "get_cache",
+    "get_executor",
+    "reset_cache_stats",
+    "set_caches_enabled",
+]
+
+_LAZY_SERVICE_EXPORTS = ("PredictionService", "PredictionRequest")
+
+
+def __getattr__(name: str):
+    # ``service`` imports repro.core, which imports the cache module above;
+    # loading it lazily keeps the core -> engine dependency acyclic.
+    if name in _LAZY_SERVICE_EXPORTS:
+        from . import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

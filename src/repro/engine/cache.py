@@ -1,0 +1,321 @@
+"""Content-addressed memoization for fits, extrapolations and predictions.
+
+ESTIMA's cost is dominated by multi-start non-linear least squares: a single
+campaign re-fits the same (kernel, series) pairs many times — the
+``allow_negative`` fallback in :func:`repro.core.regression.extrapolate_series`
+re-runs every fit of the first pass, and a multi-target campaign asks for the
+same extrapolations once per target.  This module provides the shared caching
+substrate the engine layer uses to pay for each fit exactly once:
+
+* :class:`ContentCache` — a bounded, thread-safe memo table addressed by a
+  content digest of its inputs (never by object identity), with hit/miss
+  statistics;
+* global cache *regions* (``"fit"``, ``"extrapolation"``) that
+  :mod:`repro.core.fitting` and :mod:`repro.core.regression` consult when
+  enabled, plus per-service regions created by
+  :class:`repro.engine.service.PredictionService`;
+* key builders that hash the actual numerical content (kernel name, core
+  counts, value bytes, relevant config fields), so measurement sets loaded
+  from disk hit the same entries as freshly simulated ones.
+
+All cached values (:class:`~repro.core.fitting.FittedFunction`,
+:class:`~repro.core.regression.ExtrapolationResult`,
+:class:`~repro.core.result.ScalabilityPrediction`) are frozen dataclasses, so
+sharing them between callers is safe.  Caching is **off by default** — the
+default serial path computes exactly what the seed code computed — and is
+switched on per run via ``EstimaConfig(use_fit_cache=True)``, the
+``ESTIMA_FIT_CACHE=1`` environment variable, or the :func:`caches_enabled`
+context manager.
+
+This module deliberately imports nothing from the rest of :mod:`repro` so the
+core layer can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping
+
+import numpy as np
+
+__all__ = [
+    "CacheStats",
+    "ContentCache",
+    "FIT_CACHE",
+    "EXTRAPOLATION_CACHE",
+    "get_cache",
+    "cache_stats",
+    "clear_caches",
+    "reset_cache_stats",
+    "set_caches_enabled",
+    "caches_enabled",
+    "digest",
+    "fit_key",
+    "extrapolation_key",
+    "measurements_digest",
+    "config_digest",
+]
+
+#: Environment variable that enables the fit/extrapolation caches at import.
+ENV_FIT_CACHE = "ESTIMA_FIT_CACHE"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache region."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never used)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+_SENTINEL = object()
+
+
+class ContentCache:
+    """A bounded, thread-safe, content-addressed memo table.
+
+    Keys are opaque digests produced by the key builders below; values are
+    immutable result objects.  Eviction is least-recently-used once
+    ``max_entries`` is exceeded, which bounds memory on long-running services.
+    A disabled cache is transparent: :meth:`get_or_compute` calls the compute
+    function directly and records nothing.
+    """
+
+    def __init__(self, name: str, *, enabled: bool = False, max_entries: int = 65536) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.name = name
+        self.enabled = enabled
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get_or_compute(
+        self,
+        key: Any,
+        compute: Callable[[], Any],
+        *,
+        valid: Callable[[Any], bool] | None = None,
+    ) -> Any:
+        """Return the cached value for ``key`` or compute, store and return it.
+
+        ``valid`` lets a caller reject a cached entry that exists but does not
+        cover the current request (e.g. an extrapolation evaluated over a
+        narrower core range than now required); a rejected entry counts as a
+        miss and is overwritten by the fresh computation.
+        """
+        if not self.enabled:
+            return compute()
+        with self._lock:
+            cached = self._data.get(key, _SENTINEL)
+            if cached is not _SENTINEL and (valid is None or valid(cached)):
+                self._data.move_to_end(key)
+                self.stats.hits += 1
+                return cached
+            self.stats.misses += 1
+        value = compute()  # outside the lock: fits can take a while
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept; see :meth:`CacheStats.reset`)."""
+        with self._lock:
+            self._data.clear()
+
+
+# --------------------------------------------------------------------------- #
+# Global cache regions
+# --------------------------------------------------------------------------- #
+
+_REGISTRY: dict[str, ContentCache] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def get_cache(name: str) -> ContentCache:
+    """The process-global cache region ``name`` (created on first use)."""
+    with _REGISTRY_LOCK:
+        cache = _REGISTRY.get(name)
+        if cache is None:
+            cache = _REGISTRY[name] = ContentCache(name)
+        return cache
+
+
+#: Region consulted by :func:`repro.core.fitting.fit_kernel`.
+FIT_CACHE = get_cache("fit")
+#: Region consulted by :func:`repro.core.regression.extrapolate_series`.
+EXTRAPOLATION_CACHE = get_cache("extrapolation")
+
+if os.environ.get(ENV_FIT_CACHE, "").strip() not in ("", "0", "false", "no"):
+    FIT_CACHE.enabled = True
+    EXTRAPOLATION_CACHE.enabled = True
+
+
+def cache_stats() -> dict[str, dict[str, int]]:
+    """Hit/miss counters of every global region, keyed by region name."""
+    with _REGISTRY_LOCK:
+        return {name: cache.stats.as_dict() for name, cache in _REGISTRY.items()}
+
+
+def clear_caches() -> None:
+    """Empty every global region (entries only, not statistics)."""
+    with _REGISTRY_LOCK:
+        for cache in _REGISTRY.values():
+            cache.clear()
+
+
+def reset_cache_stats() -> None:
+    """Zero the hit/miss counters of every global region."""
+    with _REGISTRY_LOCK:
+        for cache in _REGISTRY.values():
+            cache.stats.reset()
+
+
+def set_caches_enabled(enabled: bool, *names: str) -> None:
+    """Enable or disable global regions (all of them when ``names`` is empty)."""
+    targets = names or ("fit", "extrapolation")
+    for name in targets:
+        get_cache(name).enabled = enabled
+
+
+@contextmanager
+def caches_enabled(enabled: bool = True, *names: str) -> Iterator[None]:
+    """Temporarily enable (or disable) global cache regions.
+
+    Restores each region's previous state on exit, so nested uses compose.
+    """
+    targets = names or ("fit", "extrapolation")
+    previous = {name: get_cache(name).enabled for name in targets}
+    for name in targets:
+        get_cache(name).enabled = enabled
+    try:
+        yield
+    finally:
+        for name, state in previous.items():
+            get_cache(name).enabled = state
+
+
+# --------------------------------------------------------------------------- #
+# Key builders
+# --------------------------------------------------------------------------- #
+
+
+def digest(*parts: object) -> str:
+    """A stable content digest of heterogeneous parts (arrays hashed by bytes)."""
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            h.update(b"<arr>")
+            h.update(str(part.dtype).encode())
+            h.update(np.ascontiguousarray(part).tobytes())
+        elif isinstance(part, bytes):
+            h.update(part)
+        else:
+            h.update(repr(part).encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def fit_key(kernel_name: str, cores: np.ndarray, values: np.ndarray, max_nfev: int) -> str:
+    """Cache key of one :func:`~repro.core.fitting.fit_kernel` call."""
+    return digest("fit", kernel_name, cores, values, int(max_nfev))
+
+
+def extrapolation_key(
+    cores: np.ndarray,
+    values: np.ndarray,
+    config: object,
+    *,
+    target_cores: int,
+    category: str,
+    allow_negative: bool,
+) -> str:
+    """Cache key of one :func:`~repro.core.regression.extrapolate_series` call.
+
+    Only the inputs that influence the numerical result take part in the key:
+    the series content, the config fields the regression reads (kernel set,
+    checkpoint count, prefix floor, realism bound) and ``target_cores`` (the
+    realism screen widens with the target, so the chosen fit is
+    target-dependent).  Engine knobs such as the executor choice deliberately
+    do not, so a serial and a parallel run address the same entries, and a
+    cached result is always bit-identical to a recomputed one.  Cross-target
+    sharing is the :class:`~repro.engine.service.PredictionService`'s job,
+    where the slice-of-the-max-target semantics are explicit.
+    """
+    return digest(
+        "extrapolation",
+        cores,
+        values,
+        tuple(getattr(config, "kernel_names", ())),
+        int(getattr(config, "checkpoints", 0)),
+        int(getattr(config, "min_prefix", 0)),
+        float(getattr(config, "max_extrapolation_factor", 0.0)),
+        int(target_cores),
+        category,
+        bool(allow_negative),
+    )
+
+
+def measurements_digest(measurements: object) -> str:
+    """Content digest of a :class:`~repro.core.measurement.MeasurementSet`."""
+    payload = measurements.to_dict()  # type: ignore[attr-defined]
+    return digest("measurements", _freeze(payload))
+
+
+def config_digest(config: object) -> str:
+    """Digest of the config fields that change prediction *numbers*.
+
+    Engine knobs (``executor``, ``max_workers``, ``use_fit_cache``) are
+    excluded on purpose: they change how a prediction is computed, never what
+    it computes, so cached results are shared across backends.
+    """
+    return digest(
+        "config",
+        tuple(getattr(config, "kernel_names", ())),
+        int(getattr(config, "checkpoints", 0)),
+        int(getattr(config, "min_prefix", 0)),
+        bool(getattr(config, "use_software_stalls", True)),
+        bool(getattr(config, "use_frontend_stalls", False)),
+        float(getattr(config, "frequency_ratio", 1.0)),
+        float(getattr(config, "dataset_ratio", 1.0)),
+        float(getattr(config, "max_extrapolation_factor", 0.0)),
+    )
+
+
+def _freeze(value: object) -> object:
+    """Recursively convert mappings/sequences into hashable, ordered tuples."""
+    if isinstance(value, Mapping):
+        return tuple((k, _freeze(v)) for k, v in sorted(value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value

@@ -1,0 +1,168 @@
+"""Pluggable execution backends for experiment and fit fan-out.
+
+ESTIMA's pipeline is embarrassingly parallel at two levels: the workloads of a
+campaign are independent of each other, and so are the multi-start kernel fits
+inside one prediction.  An :class:`Executor` abstracts over *how* such a batch
+of independent tasks is mapped:
+
+* :class:`SerialExecutor` — a plain in-process loop; the default, and the
+  reference semantics every other backend must reproduce bit-identically;
+* :class:`ParallelExecutor` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  fan-out with deterministic result ordering (results always come back in
+  task-submission order, regardless of completion order).
+
+Backends are chosen per run via ``EstimaConfig(executor=...)``, the
+``ESTIMA_EXECUTOR`` environment variable (``serial``, ``parallel`` or
+``parallel:<workers>``), or by passing an :class:`Executor` instance directly
+to the runner layer.  Task functions and task payloads handed to
+:class:`ParallelExecutor` must be picklable (module-level functions and plain
+dataclasses); the runner layer ships workload *names* rather than workload
+objects for exactly this reason.
+
+This module imports nothing from the rest of :mod:`repro`, so any layer can
+use it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, TypeVar
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "get_executor",
+    "executor_for_config",
+]
+
+#: Environment variable naming the default backend (``serial`` when unset).
+ENV_EXECUTOR = "ESTIMA_EXECUTOR"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class Executor(ABC):
+    """Maps a function over independent tasks with deterministic ordering."""
+
+    #: Short backend identifier used in reports and CLI output.
+    name: str = "abstract"
+    #: Whether task functions/payloads must be picklable (process backends).
+    requires_pickling: bool = False
+
+    @abstractmethod
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item; results are in input order."""
+
+    def close(self) -> None:
+        """Release backend resources (no-op for stateless backends)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """The reference backend: a plain loop in the calling process."""
+
+    name = "serial"
+    requires_pickling = False
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class ParallelExecutor(Executor):
+    """Process-pool fan-out with results in deterministic submission order.
+
+    ``max_workers=0`` (the default) sizes the pool to the machine's CPU count.
+    If a process pool cannot be created or dies (restricted sandboxes,
+    fork-less platforms), the batch transparently falls back to serial
+    execution — results are identical either way, only wall time differs; the
+    ``fell_back`` flag records that it happened.
+    """
+
+    name = "parallel"
+    requires_pickling = True
+
+    def __init__(self, max_workers: int = 0) -> None:
+        if max_workers < 0:
+            raise ValueError("max_workers must be >= 0 (0 = auto)")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.fell_back = False
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        tasks = list(items)
+        if len(tasks) <= 1:
+            return [fn(item) for item in tasks]
+        chunksize = max(1, len(tasks) // (self.max_workers * 4))
+        try:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                # pool.map preserves input order even when tasks finish out of
+                # order, which keeps campaign rows deterministic.
+                return list(pool.map(fn, tasks, chunksize=chunksize))
+        except (OSError, BrokenProcessPool) as exc:
+            self.fell_back = True
+            warnings.warn(
+                f"ParallelExecutor could not use a process pool ({exc!r}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [fn(item) for item in tasks]
+
+
+def get_executor(
+    spec: "Executor | str | None" = None, *, max_workers: int = 0
+) -> Executor:
+    """Resolve an executor from an instance, a backend name, or the environment.
+
+    ``spec`` may be an :class:`Executor` (returned as-is), a name —
+    ``"serial"``, ``"parallel"`` or ``"parallel:<n>"`` — or ``None``, in which
+    case the ``ESTIMA_EXECUTOR`` environment variable decides (default
+    ``serial``).  ``max_workers`` applies to the parallel backend and is
+    overridden by an explicit ``parallel:<n>`` suffix.
+    """
+    if isinstance(spec, Executor):
+        return spec
+    name = (spec or os.environ.get(ENV_EXECUTOR) or "serial").strip().lower()
+    workers = max_workers
+    if name.startswith("parallel:"):
+        name, _, suffix = name.partition(":")
+        try:
+            workers = int(suffix)
+        except ValueError:
+            raise ValueError(f"invalid worker count in executor spec {spec!r}") from None
+    if name == "serial":
+        return SerialExecutor()
+    if name == "parallel":
+        return ParallelExecutor(max_workers=workers)
+    raise ValueError(
+        f"unknown executor {spec!r}; expected 'serial', 'parallel' or 'parallel:<n>'"
+    )
+
+
+def executor_for_config(config: object, override: "Executor | str | None" = None) -> Executor:
+    """The executor a run should use, honouring explicit overrides first.
+
+    Resolution order: ``override`` (instance or name) → ``config.executor``
+    when it names a non-default backend → ``ESTIMA_EXECUTOR`` → serial.  A
+    config left at its ``"serial"`` default does not shadow the environment
+    variable, so ``ESTIMA_EXECUTOR=parallel`` accelerates unmodified scripts.
+    ``config`` is duck typed so this module stays independent of
+    :mod:`repro.core`.
+    """
+    workers = int(getattr(config, "max_workers", 0) or 0)
+    if override is not None:
+        return get_executor(override, max_workers=workers)
+    spec = getattr(config, "executor", None)
+    if spec in (None, "serial"):
+        spec = None  # fall through to ESTIMA_EXECUTOR, default serial
+    return get_executor(spec, max_workers=workers)

@@ -1,0 +1,203 @@
+"""Batched prediction service: one computation per distinct extrapolation.
+
+A campaign evaluates every workload against several prediction targets
+(Table 4 scores "2 CPUs" and "4 CPUs" columns from the same measurements).
+Computed naively that re-walks — and, if each target ran its own pipeline,
+re-fits — the same curves once per target.  :class:`PredictionService`
+batches such requests and deduplicates the shared work:
+
+* requests are grouped by the *content* of their measurement set and config
+  (via :func:`repro.engine.cache.measurements_digest` /
+  :func:`~repro.engine.cache.config_digest`), never by object identity;
+* each group computes one full pipeline at the group's largest target and
+  serves smaller targets as slices of that curve — exactly the semantics of
+  the seed campaign, which evaluated every target on the single
+  largest-target prediction, so sliced results are bit-identical to it;
+* repeated requests hit the service's prediction cache (statistics exposed
+  via :meth:`PredictionService.cache_stats`), and the underlying kernel fits
+  go through the engine's fit/extrapolation caches when
+  ``config.use_fit_cache`` is set.
+
+``share_max_target=False`` disables the slicing behaviour: every distinct
+(measurements, config, target) triple is computed independently, which is
+the right mode when per-target kernel *selection* must match a standalone
+:class:`~repro.core.predictor.EstimaPredictor` run at that exact target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from repro.core.config import EstimaConfig
+from repro.core.measurement import MeasurementSet
+from repro.core.predictor import EstimaPredictor
+from repro.core.result import ScalabilityPrediction
+from repro.core.time_extrapolation import TimeExtrapolation, TimeExtrapolationPrediction
+
+from .cache import ContentCache, cache_stats, caches_enabled, config_digest, digest, measurements_digest
+
+__all__ = ["PredictionRequest", "PredictionService"]
+
+
+@dataclass(frozen=True)
+class PredictionRequest:
+    """One prediction a batch caller wants.
+
+    ``baseline=True`` requests the time-extrapolation baseline instead of the
+    full ESTIMA pipeline.  ``config=None`` inherits the service's config.
+    """
+
+    measurements: MeasurementSet
+    target_cores: int
+    baseline: bool = False
+    config: EstimaConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.target_cores < 1:
+            raise ValueError("target_cores must be >= 1")
+
+
+class PredictionService:
+    """Serve (batched) scalability predictions from one cached substrate.
+
+    Parameters
+    ----------
+    config:
+        Default pipeline configuration for requests that do not carry their
+        own.  ``config.use_fit_cache`` additionally enables the engine's
+        fit/extrapolation caches around every computation.
+    share_max_target:
+        When true (default), requests that differ only in ``target_cores``
+        share one computation at the largest target; smaller targets receive
+        slices of it (seed-campaign semantics).  When false, each distinct
+        target is computed independently.
+    max_entries:
+        Bound on the number of retained predictions.
+    """
+
+    def __init__(
+        self,
+        config: EstimaConfig | None = None,
+        *,
+        share_max_target: bool = True,
+        max_entries: int = 4096,
+    ) -> None:
+        self.config = config or EstimaConfig()
+        self.share_max_target = share_max_target
+        self._cache = ContentCache("service", enabled=True, max_entries=max_entries)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def predict(
+        self,
+        measurements: MeasurementSet,
+        target_cores: int,
+        *,
+        baseline: bool = False,
+        config: EstimaConfig | None = None,
+    ) -> ScalabilityPrediction | TimeExtrapolationPrediction:
+        """Single-request convenience wrapper around :meth:`predict_batch`."""
+        [prediction] = self.predict_batch(
+            [PredictionRequest(measurements, target_cores, baseline=baseline, config=config)]
+        )
+        return prediction
+
+    def predict_batch(
+        self, requests: Iterable[PredictionRequest]
+    ) -> list[ScalabilityPrediction | TimeExtrapolationPrediction]:
+        """Serve every request, computing each distinct pipeline only once.
+
+        Results come back in request order.  Within a batch, requests sharing
+        measurements and config are served from one computation at the
+        group's largest target (unless ``share_max_target`` is off); across
+        batches the service's prediction cache deduplicates further.
+        """
+        requests = list(requests)
+        groups: dict[str, list[int]] = {}
+        keys: list[str] = []
+        for index, request in enumerate(requests):
+            if not isinstance(request, PredictionRequest):
+                raise TypeError(f"expected PredictionRequest, got {type(request).__name__}")
+            key = self._group_key(request)
+            keys.append(key)
+            groups.setdefault(key, []).append(index)
+
+        results: dict[int, ScalabilityPrediction | TimeExtrapolationPrediction] = {}
+        for key, indices in groups.items():
+            group_target = max(requests[i].target_cores for i in indices)
+            # Descending-target order makes the largest request populate the
+            # cache and every smaller one register as a dedup hit.
+            for i in sorted(indices, key=lambda i: -requests[i].target_cores):
+                request = requests[i]
+                full = self._cache.get_or_compute(
+                    key,
+                    lambda req=request, tgt=group_target: self._compute(req, tgt),
+                    valid=lambda pred, tgt=group_target: pred.target_cores >= tgt,
+                )
+                results[i] = _slice_prediction(full, request.target_cores)
+        return [results[i] for i in range(len(requests))]
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss counters: this service's dedup cache + the global regions."""
+        stats = cache_stats()
+        stats["prediction"] = self._cache.stats.as_dict()
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _config_for(self, request: PredictionRequest) -> EstimaConfig:
+        return request.config or self.config
+
+    def _group_key(self, request: PredictionRequest) -> str:
+        config = self._config_for(request)
+        parts = [
+            "baseline" if request.baseline else "estima",
+            measurements_digest(request.measurements),
+            config_digest(config),
+        ]
+        if not self.share_max_target:
+            parts.append(int(request.target_cores))
+        return digest(*parts)
+
+    def _compute(
+        self, request: PredictionRequest, target_cores: int
+    ) -> ScalabilityPrediction | TimeExtrapolationPrediction:
+        config = self._config_for(request)
+        if request.baseline:
+            run = lambda: TimeExtrapolation(config).predict(  # noqa: E731
+                request.measurements, target_cores=target_cores
+            )
+        else:
+            run = lambda: EstimaPredictor(config).predict(  # noqa: E731
+                request.measurements, target_cores=target_cores
+            )
+        if config.use_fit_cache:
+            # Enable (and restore) the global fit/extrapolation regions; a
+            # config without the flag leaves whatever the process set globally.
+            with caches_enabled(True):
+                return run()
+        return run()
+
+
+def _slice_prediction(
+    prediction: ScalabilityPrediction | TimeExtrapolationPrediction, target_cores: int
+) -> ScalabilityPrediction | TimeExtrapolationPrediction:
+    """Restrict a prediction to ``target_cores`` (its grid is always 1..T).
+
+    The sliced arrays are views onto the cached prediction's arrays; both are
+    treated as immutable throughout the codebase.
+    """
+    if target_cores >= prediction.target_cores:
+        return prediction
+    n = int(target_cores)
+    fields = {
+        "target_cores": n,
+        "prediction_cores": prediction.prediction_cores[:n],
+        "predicted_times": prediction.predicted_times[:n],
+    }
+    if isinstance(prediction, ScalabilityPrediction):
+        fields["stalls_per_core"] = prediction.stalls_per_core[:n]
+    return replace(prediction, **fields)

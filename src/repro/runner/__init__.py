@@ -1,7 +1,17 @@
-"""Measurement harness: experiments and campaigns over workloads and machines."""
+"""Measurement harness: experiments and campaigns over workloads and machines.
+
+Campaigns and multi-workload experiments execute on :mod:`repro.engine` — a
+pluggable serial/parallel executor plus a caching prediction service — while
+keeping the serial default bit-identical to the original loop.
+"""
 
 from .campaign import CampaignResult, CampaignRow, ErrorCampaign
-from .experiment import CrossMachineExperiment, Experiment, ExperimentResult
+from .experiment import (
+    CrossMachineExperiment,
+    Experiment,
+    ExperimentResult,
+    scaling_behaviour_correct,
+)
 from .io import (
     load_measurements,
     load_prediction_json,
@@ -24,4 +34,5 @@ __all__ = [
     "save_prediction_csv",
     "save_prediction_json",
     "save_table",
+    "scaling_behaviour_correct",
 ]

@@ -15,6 +15,7 @@ another — the memcached/SQLite setting) use :class:`CrossMachineExperiment`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -27,11 +28,49 @@ from repro.core import (
     TimeExtrapolation,
     TimeExtrapolationPrediction,
 )
+from repro.engine.executor import Executor, executor_for_config
 from repro.machine.machines import MachineSpec
 from repro.simulation import MachineSimulator
 from repro.workloads.base import Workload
+from repro.workloads.registry import get_workload
 
-__all__ = ["ExperimentResult", "Experiment", "CrossMachineExperiment"]
+__all__ = [
+    "ExperimentResult",
+    "Experiment",
+    "CrossMachineExperiment",
+    "scaling_behaviour_correct",
+]
+
+
+def scaling_behaviour_correct(
+    ground_truth: MeasurementSet,
+    estima: ScalabilityPrediction,
+    measurement_cores: int,
+    *,
+    tolerance: float = 0.10,
+) -> bool:
+    """Whether ESTIMA predicted the right qualitative behaviour.
+
+    The paper's claim is that prediction errors never amount to predicting a
+    *different behaviour*: if the application stops scaling before the target,
+    the prediction must not say it keeps scaling (and vice versa).  Behaviour
+    is judged at the measurement boundary with a tolerance on what counts as
+    further improvement.  Exposed as a free function so campaign workers can
+    score behaviour without materialising a full :class:`ExperimentResult`.
+    """
+    boundary = measurement_cores
+    later = [c for c in ground_truth.cores if c > boundary]
+    if not later:
+        return True
+    boundary_time = (
+        ground_truth.time_at(int(boundary))
+        if boundary in ground_truth.cores
+        else float(ground_truth.times[ground_truth.cores <= boundary][-1])
+    )
+    best_later = float(min(ground_truth.time_at(int(c)) for c in later))
+    actually_scales = best_later < boundary_time * (1.0 - tolerance)
+    predicted_scales = estima.predicts_scaling_beyond(boundary, tolerance=tolerance)
+    return actually_scales == predicted_scales
 
 
 @dataclass(frozen=True)
@@ -56,24 +95,11 @@ class ExperimentResult:
     def scaling_behaviour_correct(self, *, tolerance: float = 0.10) -> bool:
         """Whether ESTIMA predicted the right qualitative behaviour.
 
-        The paper's claim is that prediction errors never amount to predicting
-        a *different behaviour*: if the application stops scaling before the
-        target, the prediction must not say it keeps scaling (and vice versa).
-        Behaviour is judged at the measurement boundary with a tolerance on
-        what counts as further improvement.
+        See :func:`scaling_behaviour_correct` for the criterion.
         """
-        boundary = self.measurement_cores
-        actual = self.ground_truth
-        later = [c for c in actual.cores if c > boundary]
-        if not later:
-            return True
-        boundary_time = actual.time_at(int(boundary)) if boundary in actual.cores else float(
-            actual.times[actual.cores <= boundary][-1]
+        return scaling_behaviour_correct(
+            self.ground_truth, self.estima, self.measurement_cores, tolerance=tolerance
         )
-        best_later = float(min(actual.time_at(int(c)) for c in later))
-        actually_scales = best_later < boundary_time * (1.0 - tolerance)
-        predicted_scales = self.estima.predicts_scaling_beyond(boundary, tolerance=tolerance)
-        return actually_scales == predicted_scales
 
 
 @dataclass
@@ -129,6 +155,76 @@ class Experiment:
             baseline=baseline_prediction,
             baseline_error=baseline_error,
         )
+
+    def run_many(
+        self,
+        workloads: Iterable[Workload | str],
+        *,
+        measurement_cores: int,
+        target_cores: int | None = None,
+        core_counts: list[int] | None = None,
+        dataset_scale: float = 1.0,
+        executor: Executor | str | None = None,
+    ) -> list[ExperimentResult]:
+        """Run :meth:`run` over many workloads through an engine executor.
+
+        Workloads may be given as objects or registry names; results come
+        back in input order regardless of the backend.  Workload *objects*
+        travel as-is (so unregistered custom workloads work exactly like in
+        :meth:`run`); names are resolved in the worker, keeping parallel task
+        payloads small.  The executor is resolved from ``executor`` →
+        ``config.executor`` → ``ESTIMA_EXECUTOR`` → serial, and every
+        backend produces identical results (only wall time differs).
+        """
+        tasks = [
+            _ExperimentTask(
+                workload=workload,
+                machine=self.machine,
+                config=self.config,
+                include_software_stalls=self.include_software_stalls,
+                measurement_cores=measurement_cores,
+                target_cores=target_cores,
+                core_counts=tuple(core_counts) if core_counts is not None else None,
+                dataset_scale=dataset_scale,
+            )
+            for workload in workloads
+        ]
+        resolved = executor_for_config(self.config, executor)
+        return resolved.map(_run_experiment_task, tasks)
+
+
+@dataclass(frozen=True)
+class _ExperimentTask:
+    """Picklable description of one :meth:`Experiment.run` invocation.
+
+    Registry names are resolved inside the worker, keeping the payload small;
+    workload objects (e.g. unregistered custom workloads) are carried as-is.
+    """
+
+    workload: Workload | str
+    machine: MachineSpec
+    config: EstimaConfig
+    include_software_stalls: bool
+    measurement_cores: int
+    target_cores: int | None
+    core_counts: tuple[int, ...] | None
+    dataset_scale: float
+
+
+def _run_experiment_task(task: _ExperimentTask) -> ExperimentResult:
+    """Module-level worker for executor fan-out (must stay picklable)."""
+    experiment = Experiment(
+        machine=task.machine,
+        config=task.config,
+        include_software_stalls=task.include_software_stalls,
+    )
+    return experiment.run(
+        get_workload(task.workload) if isinstance(task.workload, str) else task.workload,
+        measurement_cores=task.measurement_cores,
+        target_cores=task.target_cores,
+        core_counts=list(task.core_counts) if task.core_counts is not None else None,
+        dataset_scale=task.dataset_scale,
+    )
 
 
 @dataclass

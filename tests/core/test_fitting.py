@@ -109,8 +109,27 @@ class TestFitAllStarts:
         assert len(fits) >= 1
         assert all(np.all(np.isfinite(f(cores))) for f in fits)
 
-    def test_underdetermined_returns_empty(self):
-        assert fit_all_starts(get_kernel("Rat33"), [1, 2, 3], [1.0, 2.0, 3.0]) == []
+    def test_underdetermined_series_uses_trust_region_path(self):
+        # 7 parameters, 3 points: previously this silently produced no fits
+        # because the Levenberg-Marquardt solver rejects under-determined
+        # problems; the shared multi-start helper now falls back to the
+        # trust-region solver, exactly like fit_kernel.
+        fits = fit_all_starts(get_kernel("Rat33"), [1, 2, 3], [1.0, 2.0, 3.0])
+        assert all(np.all(np.isfinite(f([1.0, 2.0, 3.0]))) for f in fits)
+        best = fit_kernel(get_kernel("Rat33"), [1, 2, 3], [1.0, 2.0, 3.0])
+        if fits:
+            assert best is not None
+            assert best.train_rmse == min(f.train_rmse for f in fits)
+
+    def test_linear_kernels_return_single_exact_solution(self):
+        cores = np.arange(1, 13, dtype=float)
+        values = 5.0 + 2.0 * cores + 0.3 * cores**2 + 0.05 * cores**2.5
+        fits = fit_all_starts(get_kernel("Poly25"), cores, values)
+        assert len(fits) == 1
+        np.testing.assert_allclose(fits[0](cores), values, rtol=1e-6)
+
+    def test_too_short_series_returns_empty(self):
+        assert fit_all_starts(get_kernel("Rat33"), [1], [1.0]) == []
 
 
 class TestFittingProperties:

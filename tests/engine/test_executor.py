@@ -1,0 +1,124 @@
+"""Tests for the pluggable execution backends."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.engine.executor import (
+    ENV_EXECUTOR,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    executor_for_config,
+    get_executor,
+)
+
+
+def _double(x: int) -> int:
+    """Module-level so the process-pool backend can pickle it."""
+    return 2 * x
+
+
+class TestSerialExecutor:
+    def test_maps_in_order(self):
+        assert SerialExecutor().map(_double, [3, 1, 2]) == [6, 2, 4]
+
+    def test_empty_input(self):
+        assert SerialExecutor().map(_double, []) == []
+
+    def test_closures_are_fine_in_process(self):
+        offset = 10
+        assert SerialExecutor().map(lambda x: x + offset, [1, 2]) == [11, 12]
+
+    def test_context_manager(self):
+        with SerialExecutor() as executor:
+            assert executor.map(_double, [1]) == [2]
+
+
+class TestParallelExecutor:
+    def test_maps_in_submission_order(self):
+        result = ParallelExecutor(max_workers=2).map(_double, list(range(8)))
+        assert result == [2 * i for i in range(8)]
+
+    def test_single_item_runs_inline(self):
+        assert ParallelExecutor().map(_double, [21]) == [42]
+
+    def test_matches_serial_results(self):
+        items = list(range(12))
+        assert ParallelExecutor(max_workers=2).map(_double, items) == SerialExecutor().map(
+            _double, items
+        )
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(max_workers=-1)
+
+    def test_auto_worker_count(self):
+        executor = ParallelExecutor()
+        assert executor.max_workers == (os.cpu_count() or 1)
+
+
+class TestGetExecutor:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_EXECUTOR, raising=False)
+        assert isinstance(get_executor(), SerialExecutor)
+
+    def test_named_backends(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("parallel"), ParallelExecutor)
+
+    def test_parallel_worker_suffix(self):
+        executor = get_executor("parallel:3")
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.max_workers == 3
+
+    def test_invalid_suffix_rejected(self):
+        with pytest.raises(ValueError):
+            get_executor("parallel:lots")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            get_executor("quantum")
+
+    def test_instance_passthrough(self):
+        executor = SerialExecutor()
+        assert get_executor(executor) is executor
+
+    def test_environment_variable(self, monkeypatch):
+        monkeypatch.setenv(ENV_EXECUTOR, "parallel:2")
+        executor = get_executor()
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.max_workers == 2
+
+
+class TestExecutorForConfig:
+    def test_config_selects_parallel(self, monkeypatch):
+        monkeypatch.delenv(ENV_EXECUTOR, raising=False)
+        from repro.core import EstimaConfig
+
+        executor = executor_for_config(EstimaConfig(executor="parallel", max_workers=2))
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.max_workers == 2
+
+    def test_env_overrides_default_config(self, monkeypatch):
+        monkeypatch.setenv(ENV_EXECUTOR, "parallel")
+        from repro.core import EstimaConfig
+
+        assert isinstance(executor_for_config(EstimaConfig()), ParallelExecutor)
+
+    def test_override_wins(self, monkeypatch):
+        monkeypatch.setenv(ENV_EXECUTOR, "parallel")
+        from repro.core import EstimaConfig
+
+        executor = executor_for_config(EstimaConfig(), "serial")
+        assert isinstance(executor, SerialExecutor)
+
+    def test_executor_field_validated(self):
+        from repro.core import EstimaConfig
+
+        with pytest.raises(ValueError):
+            EstimaConfig(executor="quantum")
+        with pytest.raises(ValueError):
+            EstimaConfig(max_workers=-2)

@@ -1,0 +1,88 @@
+"""Round-trip coverage for :mod:`repro.runner.io`.
+
+The original tool is file-oriented: counters are collected into files and the
+extrapolation runs from those files later (possibly on another machine).  The
+pipeline must therefore be insensitive to a JSON round trip: measure → write →
+read → predict has to give the exact same numbers as predicting from the
+in-memory measurements.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core import EstimaPredictor, TimeExtrapolation
+from repro.runner import (
+    load_measurements,
+    load_prediction_json,
+    save_measurements,
+    save_prediction_json,
+)
+
+
+class TestMeasurementRoundTrip:
+    def test_loaded_set_is_equal(self, tmp_path, intruder_opteron_sweep):
+        path = save_measurements(intruder_opteron_sweep, tmp_path / "m.json")
+        loaded = load_measurements(path)
+        assert loaded == intruder_opteron_sweep
+
+    def test_all_fields_survive(self, tmp_path, intruder_opteron_sweep):
+        loaded = load_measurements(
+            save_measurements(intruder_opteron_sweep, tmp_path / "m.json")
+        )
+        assert loaded.workload == intruder_opteron_sweep.workload
+        assert loaded.machine == intruder_opteron_sweep.machine
+        assert loaded.frequency_ghz == intruder_opteron_sweep.frequency_ghz
+        np.testing.assert_array_equal(loaded.cores, intruder_opteron_sweep.cores)
+        np.testing.assert_array_equal(loaded.times, intruder_opteron_sweep.times)
+        for name in intruder_opteron_sweep.category_names():
+            np.testing.assert_array_equal(
+                loaded.category_series(name),
+                intruder_opteron_sweep.category_series(name),
+            )
+
+    def test_prediction_identical_after_round_trip(self, tmp_path, intruder_opteron_sweep):
+        """measure -> write -> read -> predict == predict from memory, bit for bit."""
+        measured = intruder_opteron_sweep.restrict_to(12)
+        path = save_measurements(measured, tmp_path / "measured.json")
+        reloaded = load_measurements(path)
+
+        direct = EstimaPredictor().predict(measured, target_cores=48)
+        from_file = EstimaPredictor().predict(reloaded, target_cores=48)
+
+        np.testing.assert_array_equal(from_file.predicted_times, direct.predicted_times)
+        np.testing.assert_array_equal(from_file.stalls_per_core, direct.stalls_per_core)
+        assert from_file.scaling_factor.kernel_name == direct.scaling_factor.kernel_name
+        assert from_file.scaling_factor.fitted.params == direct.scaling_factor.fitted.params
+        assert {
+            name: result.kernel_name
+            for name, result in from_file.category_extrapolations.items()
+        } == {
+            name: result.kernel_name
+            for name, result in direct.category_extrapolations.items()
+        }
+
+    def test_baseline_identical_after_round_trip(self, tmp_path, intruder_opteron_sweep):
+        measured = intruder_opteron_sweep.restrict_to(12)
+        reloaded = load_measurements(save_measurements(measured, tmp_path / "m.json"))
+        direct = TimeExtrapolation().predict(measured, target_cores=48)
+        from_file = TimeExtrapolation().predict(reloaded, target_cores=48)
+        np.testing.assert_array_equal(from_file.predicted_times, direct.predicted_times)
+
+
+class TestPredictionJsonRoundTrip:
+    def test_prediction_summary_round_trip(self, tmp_path, intruder_prediction):
+        path = save_prediction_json(intruder_prediction, tmp_path / "p.json")
+        payload = load_prediction_json(path)
+        assert payload["workload"] == intruder_prediction.workload
+        assert payload["predicted_times"] == [
+            float(t) for t in intruder_prediction.predicted_times
+        ]
+        assert payload["scaling_factor_kernel"] == intruder_prediction.scaling_factor.kernel_name
+
+    def test_file_is_plain_json(self, tmp_path, intruder_prediction):
+        path = save_prediction_json(intruder_prediction, tmp_path / "p.json")
+        parsed = json.loads(path.read_text())
+        assert isinstance(parsed["predicted_times"], list)

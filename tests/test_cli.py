@@ -94,3 +94,90 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "Time-extrapolation baseline" in out
+
+    def test_predict_json_output_is_machine_readable(self, capsys):
+        code = main(
+            [
+                "predict",
+                "--workload",
+                "genome",
+                "--machine",
+                "xeon20",
+                "--measure-cores",
+                "10",
+                "--target-cores",
+                "20",
+                "--baseline",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "genome"
+        assert payload["target_cores"] == 20
+        assert len(payload["predicted_times_s"]) == 20
+        assert payload["prediction_cores"] == list(range(1, 21))
+        assert payload["scaling_factor"]["kernel"]
+        assert isinstance(payload["predicted_peak_cores"], int)
+        assert len(payload["baseline"]["predicted_times_s"]) == 20
+
+
+CAMPAIGN_ARGS = [
+    "campaign",
+    "--machine",
+    "xeon20",
+    "--measure-cores",
+    "10",
+    "--workloads",
+    "genome,blackscholes",
+    "--core-counts",
+    "1,2,3,4,6,8,10,12,16,20",
+]
+
+
+class TestCampaignCommand:
+    def test_text_table_and_engine_line(self, capsys):
+        code = main(CAMPAIGN_ARGS + ["--targets", "full=20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Benchmark" in out
+        assert "genome" in out and "blackscholes" in out
+        assert "executor=serial" in out
+
+    def test_json_output_with_fit_cache(self, capsys):
+        code = main(
+            CAMPAIGN_ARGS + ["--targets", "half=16,full=20", "--fit-cache", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {row["workload"] for row in payload["rows"]} == {"genome", "blackscholes"}
+        assert payload["target_labels"] == ["half", "full"]
+        assert set(payload["aggregates"]) == {"half", "full"}
+        caches = payload["engine"]["caches"]
+        assert caches["prediction"]["hits"] > 0
+
+    def test_bare_core_count_targets_and_csv_output(self, tmp_path, capsys):
+        out_csv = tmp_path / "rows.csv"
+        code = main(
+            CAMPAIGN_ARGS + ["--targets", "20", "--output", str(out_csv)]
+        )
+        assert code == 0
+        content = out_csv.read_text()
+        assert "estima[20 cores]" in content
+        assert "genome" in content
+
+    def test_unknown_workload_rejected(self, capsys):
+        code = main(
+            ["campaign", "--machine", "xeon20", "--measure-cores", "10",
+             "--targets", "20", "--workloads", "doom"]
+        )
+        assert code == 2
+        assert "unknown workloads" in capsys.readouterr().err
+
+    def test_bad_targets_rejected(self, capsys):
+        code = main(
+            ["campaign", "--machine", "xeon20", "--measure-cores", "10",
+             "--targets", " , "]
+        )
+        assert code == 2
+        assert "invalid --targets" in capsys.readouterr().err
