@@ -20,26 +20,43 @@ simulation substrate:
     out over a process pool and ``--fit-cache`` memoizes kernel fits; both are
     verified to produce the same numbers as the serial default.
 
+``estima serve --socket /tmp/estima.sock``
+    Long-lived serving mode: accept JSON prediction requests (the
+    ``estima predict --json`` schema) over a unix socket or stdin/stdout,
+    coalesce concurrent requests into micro-batches on the prediction
+    service, and report throughput/latency/cache counters on shutdown.
+
+``estima cache stats|clear|warm``
+    Manage the persistent disk tier of the fit/extrapolation caches
+    (``--cache-dir`` / ``ESTIMA_CACHE_DIR``): show per-region entry counts,
+    wipe it, or pre-populate it for a workload set so later runs start warm.
+
 ``estima list``
     Show the available workloads and machines.
 
 ``estima predict --json`` emits a machine-readable JSON document instead of
-text tables so downstream tooling can consume predictions without scraping.
+text tables so downstream tooling can consume predictions without scraping;
+``--stats`` appends engine cache hit/miss and executor counters to either
+output form.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 from repro.analysis.bottleneck import BottleneckReport
 from repro.core import EstimaConfig, EstimaPredictor, MeasurementSet, TimeExtrapolation
+from repro.engine.cache import cache_stats, caches_enabled, clear_caches, disk_tier
 from repro.engine.executor import get_executor
+from repro.engine.store import default_cache_dir, store_for
 from repro.machine.machines import MACHINES, get_machine
 from repro.runner.campaign import ErrorCampaign
-from repro.runner.io import save_table
+from repro.runner.io import prediction_payload, save_table
 from repro.simulation import MachineSimulator
 from repro.workloads.registry import TABLE4_WORKLOADS, WORKLOADS, get_workload
 
@@ -81,6 +98,27 @@ def build_parser() -> argparse.ArgumentParser:
         dest="as_json",
         help="emit a machine-readable JSON document instead of text tables",
     )
+    predict.add_argument(
+        "--executor",
+        default=None,
+        help="execution backend: serial, threads[:N] or parallel[:N] "
+        "(threads parallelises the kernel fits of this prediction)",
+    )
+    predict.add_argument(
+        "--fit-cache",
+        action="store_true",
+        help="memoize kernel fits and extrapolations (identical numbers, fewer solves)",
+    )
+    predict.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent disk tier for the fit cache; implies --fit-cache (default: $ESTIMA_CACHE_DIR)",
+    )
+    predict.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine cache hit/miss and executor counters after the run",
+    )
     predict.set_defaults(func=_cmd_predict)
 
     campaign = sub.add_parser(
@@ -106,13 +144,23 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--executor",
         default=None,
-        help="execution backend: serial, parallel or parallel:<workers> "
-        "(default: $ESTIMA_EXECUTOR or serial)",
+        help="execution backend: serial, threads[:N] (fit-level) or "
+        "parallel[:N] (workload-level; default: $ESTIMA_EXECUTOR or serial)",
     )
     campaign.add_argument(
         "--fit-cache",
         action="store_true",
         help="memoize kernel fits and extrapolations (identical numbers, fewer solves)",
+    )
+    campaign.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent disk tier for the fit cache; implies --fit-cache (default: $ESTIMA_CACHE_DIR)",
+    )
+    campaign.add_argument(
+        "--stats",
+        action="store_true",
+        help="print detailed engine cache and executor counters after the run",
     )
     campaign.add_argument("--no-software-stalls", action="store_true")
     campaign.add_argument("--output", default=None, help="also write the rows as CSV")
@@ -123,6 +171,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit rows and aggregates as JSON instead of the text table",
     )
     campaign.set_defaults(func=_cmd_campaign)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve JSON prediction requests over stdin/stdout or a unix socket",
+    )
+    serve.add_argument(
+        "--socket", default=None, help="unix socket path (default: stdin/stdout)"
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=None, help="micro-batch size bound"
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=None,
+        help="how long to wait for more requests after the first of a batch",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=None, help="bounded request queue (backpressure)"
+    )
+    serve.add_argument("--fit-cache", action="store_true")
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent disk tier for warm restarts; implies --fit-cache (default: $ESTIMA_CACHE_DIR)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or manage the persistent fit-cache disk tier"
+    )
+    cache.add_argument("action", choices=["stats", "clear", "warm"])
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help="disk tier directory (default: $ESTIMA_CACHE_DIR or ~/.cache/estima)",
+    )
+    cache.add_argument(
+        "--json", action="store_true", dest="as_json", help="machine-readable output"
+    )
+    cache.add_argument(
+        "--machine", choices=sorted(MACHINES), help="warm: machine to simulate on"
+    )
+    cache.add_argument(
+        "--workloads",
+        default=None,
+        help="warm: comma-separated workload names (default: the Table-4 set)",
+    )
+    cache.add_argument("--measure-cores", type=int, default=None, help="warm: measurement window")
+    cache.add_argument("--target-cores", type=int, default=None, help="warm: prediction target")
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 
@@ -155,6 +254,32 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stats_delta(before, after) -> dict[str, dict[str, int]]:
+    """Per-region counter deltas between two ``cache_stats()`` snapshots."""
+    delta: dict[str, dict[str, int]] = {}
+    for region, counts in after.items():
+        prior = before.get(region, {})
+        delta[region] = {
+            key: int(counts.get(key, 0)) - int(prior.get(key, 0)) for key in counts
+        }
+    return delta
+
+
+def _format_cache_lines(caches) -> list[str]:
+    """Human-readable per-region, per-tier cache counter lines."""
+    lines = []
+    for region, counts in sorted(caches.items()):
+        lookups = counts.get("hits", 0) + counts.get("misses", 0)
+        disk_lookups = counts.get("disk_hits", 0) + counts.get("disk_misses", 0)
+        if not lookups and not disk_lookups:
+            continue
+        line = f"  {region:>13s}: memory {counts.get('hits', 0)}/{lookups} hits"
+        if disk_lookups:
+            line += f", disk {counts.get('disk_hits', 0)}/{disk_lookups} hits"
+        lines.append(line)
+    return lines
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     if args.input:
         measurements = MeasurementSet.load(Path(args.input))
@@ -172,46 +297,56 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     if args.measure_cores:
         measurements = measurements.restrict_to(args.measure_cores)
 
+    if args.executor is not None:
+        try:
+            get_executor(args.executor)
+        except ValueError as exc:
+            print(f"invalid --executor: {exc}", file=sys.stderr)
+            return 2
     config = EstimaConfig(
         checkpoints=args.checkpoints,
         use_software_stalls=not args.no_software_stalls,
         dataset_ratio=args.dataset_ratio,
+        executor=args.executor or "serial",
+        # An explicit --cache-dir would be silently useless without the fit
+        # cache, so it implies --fit-cache.
+        use_fit_cache=args.fit_cache or bool(args.cache_dir),
+        **({"cache_dir": args.cache_dir} if args.cache_dir else {}),
     )
-    prediction = EstimaPredictor(config).predict(measurements, target_cores=args.target_cores)
-    baseline = (
-        TimeExtrapolation(config).predict(measurements, target_cores=args.target_cores)
-        if args.baseline
-        else None
+    disk_ctx = (
+        disk_tier(config.cache_dir, max_bytes=config.cache_max_bytes)
+        if config.use_fit_cache and config.cache_dir
+        else nullcontext()
     )
+    stats_before = cache_stats()
+    # Enable (and afterwards restore) the global regions only when asked, so
+    # in-process callers of main() keep their cache state.
+    cache_ctx = caches_enabled(True) if config.use_fit_cache else nullcontext()
+    with disk_ctx, cache_ctx:
+        prediction = EstimaPredictor(config).predict(
+            measurements, target_cores=args.target_cores
+        )
+        baseline = (
+            TimeExtrapolation(config).predict(
+                measurements, target_cores=args.target_cores
+            )
+            if args.baseline
+            else None
+        )
+    engine_block = {
+        "executor": config.executor,
+        "caches": _stats_delta(stats_before, cache_stats()),
+    }
 
     if args.as_json:
-        payload = {
-            "workload": prediction.workload,
-            "machine": prediction.machine,
-            "measured_cores": [int(c) for c in prediction.measured.cores],
-            "target_cores": prediction.target_cores,
-            "predicted_peak_cores": prediction.predicted_peak_cores(),
-            "prediction_cores": [int(c) for c in prediction.prediction_cores],
-            "predicted_times_s": [float(t) for t in prediction.predicted_times],
-            "stalls_per_core": [float(s) for s in prediction.stalls_per_core],
-            "scaling_factor": {
-                "kernel": prediction.scaling_factor.kernel_name,
-                "correlation": float(prediction.scaling_factor.correlation),
-            },
-            "category_kernels": {
-                name: result.kernel_name
-                for name, result in prediction.category_extrapolations.items()
-            },
-            "dominant_categories": [
-                {"category": name, "fraction": float(fraction)}
-                for name, fraction in prediction.dominant_categories(prediction.target_cores)
-            ],
-        }
+        payload = prediction_payload(prediction)
         if baseline is not None:
             payload["baseline"] = {
                 "predicted_peak_cores": baseline.predicted_peak_cores(),
                 "predicted_times_s": [float(t) for t in baseline.predicted_times],
             }
+        if args.stats:
+            payload["engine"] = engine_block
         print(json.dumps(payload, indent=2))
         return 0
 
@@ -229,6 +364,10 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     if baseline is not None:
         print("\nTime-extrapolation baseline:")
         print(f"  predicted best core count: {baseline.predicted_peak_cores()}")
+    if args.stats:
+        print(f"\nengine: executor={config.executor}")
+        cache_lines = _format_cache_lines(engine_block["caches"])
+        print("\n".join(cache_lines) if cache_lines else "  (no cache lookups)")
     return 0
 
 
@@ -284,7 +423,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     config = EstimaConfig(
         use_software_stalls=not args.no_software_stalls,
-        use_fit_cache=args.fit_cache,
+        # An explicit --cache-dir would be silently useless without the fit
+        # cache, so it implies --fit-cache.
+        use_fit_cache=args.fit_cache or bool(args.cache_dir),
+        **({"cache_dir": args.cache_dir} if args.cache_dir else {}),
     )
     campaign = ErrorCampaign(
         machine=machine,
@@ -294,7 +436,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         core_counts=core_counts,
         executor=args.executor,
     )
-    result = campaign.run(workloads)
+    # Scope the disk tier to this run: the campaign's service attaches it to
+    # the process-global regions; restore whatever was attached before so
+    # in-process callers of main() keep their cache state.
+    disk_ctx = (
+        disk_tier(config.cache_dir, max_bytes=config.cache_max_bytes)
+        if config.use_fit_cache and config.cache_dir
+        else nullcontext()
+    )
+    with disk_ctx:
+        result = campaign.run(workloads)
 
     if args.output:
         rows = [
@@ -351,8 +502,127 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"workloads={stats.get('workloads', len(result.rows))}"
         + (f" | cache: {cache_text}" if cache_text else "")
     )
+    if args.stats:
+        executor_stats = stats.get("executor_stats", {})
+        detail = " ".join(f"{k}={v}" for k, v in executor_stats.items())
+        print(f"executor counters: {detail}" if detail else "executor counters: (none)")
+        cache_lines = _format_cache_lines(caches)
+        if cache_lines:
+            print("cache tiers:")
+            print("\n".join(cache_lines))
     if args.output:
         print(f"rows written to {args.output}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.engine.server import PredictionServer, serve_stdio, serve_unix
+
+    config = EstimaConfig(
+        # An explicit --cache-dir would be silently useless without the fit
+        # cache, so it implies --fit-cache.
+        use_fit_cache=args.fit_cache or bool(args.cache_dir),
+        **({"cache_dir": args.cache_dir} if args.cache_dir else {}),
+    )
+    server = PredictionServer(
+        config,
+        max_batch=args.max_batch,
+        batch_window_ms=args.batch_window_ms,
+        queue_limit=args.queue_limit,
+    )
+
+    async def run() -> None:
+        try:
+            if args.socket:
+                print(f"serving on unix socket {args.socket}", file=sys.stderr)
+                await serve_unix(server, args.socket)
+            else:
+                await serve_stdio(server)
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    # Shutdown report: one machine-readable line so wrappers can scrape it.
+    print(json.dumps(server.stats()), file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache_dir = args.cache_dir or str(default_cache_dir())
+    store = store_for(cache_dir)
+
+    if args.action == "clear":
+        removed = store.clear()
+        if args.as_json:
+            print(json.dumps({"cache_dir": cache_dir, "removed": removed}))
+        else:
+            print(f"removed {removed} entries from {cache_dir}")
+        return 0
+
+    if args.action == "warm":
+        if not args.machine or not args.target_cores:
+            print("cache warm needs --machine and --target-cores", file=sys.stderr)
+            return 2
+        workloads = (
+            [w.strip() for w in args.workloads.split(",") if w.strip()]
+            if args.workloads
+            else list(TABLE4_WORKLOADS)
+        )
+        unknown = [w for w in workloads if w not in WORKLOADS]
+        if unknown:
+            print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        machine = get_machine(args.machine)
+        measure_cores = args.measure_cores or machine.total_threads
+        config = EstimaConfig(use_fit_cache=True, cache_dir=cache_dir)
+        from repro.engine.service import PredictionRequest, PredictionService
+
+        simulator = MachineSimulator(machine)
+        with disk_tier(cache_dir, max_bytes=config.cache_max_bytes):
+            service = PredictionService(config, share_max_target=False)
+            # Start from a cold memory tier: a memory hit would skip the disk
+            # write, leaving the tier this command exists to populate
+            # incomplete.
+            clear_caches()
+            with caches_enabled(True):
+                for name in workloads:
+                    sweep = simulator.sweep(
+                        get_workload(name),
+                        core_counts=[c for c in machine.core_counts() if c <= measure_cores],
+                    )
+                    service.predict_batch(
+                        [
+                            PredictionRequest(sweep, args.target_cores),
+                            PredictionRequest(sweep, args.target_cores, baseline=True),
+                        ]
+                    )
+        summary = store.describe()
+        if args.as_json:
+            print(json.dumps({"warmed": workloads, "store": summary}, indent=2))
+        else:
+            print(
+                f"warmed {len(workloads)} workload(s) into {cache_dir}: "
+                f"{summary['entries']} entries, {summary['total_bytes']} bytes"
+            )
+        return 0
+
+    # stats
+    summary = store.describe()
+    if args.as_json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"cache dir : {summary['root']}")
+    print(f"entries   : {summary['entries']}")
+    print(f"size      : {summary['total_bytes']} / {summary['max_bytes']} bytes")
+    print(f"schema    : v{summary['schema_version']}")
+    regions = summary["regions"]
+    if regions:
+        print("regions:")
+        for region, counts in sorted(regions.items()):
+            print(f"  {region:>13s}: {counts['entries']} entries, {counts['bytes']} bytes")
     return 0
 
 

@@ -14,12 +14,19 @@ The paper exposes a handful of knobs; all of them live here:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from .kernels import DEFAULT_KERNEL_NAMES, get_kernel
 
 __all__ = ["EstimaConfig"]
+
+
+def _default_cache_dir() -> str | None:
+    """Disk-tier directory default: ``ESTIMA_CACHE_DIR`` or disabled."""
+    env = os.environ.get("ESTIMA_CACHE_DIR", "").strip()
+    return env or None
 
 
 @dataclass(frozen=True)
@@ -56,21 +63,41 @@ class EstimaConfig:
         the largest training value is discarded as "not realistic".
     executor:
         Execution backend for campaign/experiment fan-out: ``"serial"`` (the
-        default, bit-identical reference path) or ``"parallel"`` (a process
-        pool; see :mod:`repro.engine.executor`).  ``ESTIMA_EXECUTOR`` in the
+        default, bit-identical reference path), ``"threads[:N]"`` (a thread
+        pool parallelising at the fit/kernel level) or ``"parallel[:N]"`` (a
+        process pool at the workload level; see
+        :mod:`repro.engine.executor`).  ``ESTIMA_EXECUTOR`` in the
         environment overrides the ``"serial"`` default.
     max_workers:
-        Worker-process count for the parallel backend; ``0`` sizes the pool
-        to the machine's CPU count.
+        Worker count for the pool backends; ``0`` sizes the pool to the
+        machine's CPU count.
     use_fit_cache:
         Enable the engine's content-addressed memoization of ``fit_kernel``
         and ``extrapolate_series`` results (see :mod:`repro.engine.cache`).
         Off by default; the cached path is verified to produce identical
         numbers but keeps state across runs.
+    cache_dir:
+        Directory of the persistent disk cache tier
+        (:mod:`repro.engine.store`): fits, extrapolations and service
+        predictions computed by one process warm-start every later one.
+        ``None`` (the default, unless ``ESTIMA_CACHE_DIR`` is set) leaves
+        the disk tier off.  Only consulted when ``use_fit_cache`` is on.
+    cache_max_bytes:
+        Size bound of the disk tier; least-recently-used entries are evicted
+        beyond it.  Defaults to ``ESTIMA_CACHE_MAX_BYTES`` or 256 MiB.
+    serve_max_batch:
+        ``estima serve`` micro-batching: most requests coalesced into one
+        :meth:`~repro.engine.service.PredictionService.predict_batch` call.
+    serve_batch_window_ms:
+        How long the server waits for more requests after the first of a
+        batch arrives (the latency it will pay to improve coalescing).
+    serve_queue_limit:
+        Bound of the server's request queue; submissions beyond it block
+        (backpressure) until the batcher drains.
 
     None of the engine knobs (``executor``, ``max_workers``,
-    ``use_fit_cache``) affect predicted numbers — only how fast they are
-    produced.
+    ``use_fit_cache``, ``cache_*``, ``serve_*``) affect predicted numbers —
+    only how fast they are produced.
     """
 
     kernel_names: tuple[str, ...] = DEFAULT_KERNEL_NAMES
@@ -85,19 +112,52 @@ class EstimaConfig:
     executor: str = "serial"
     max_workers: int = 0
     use_fit_cache: bool = False
+    cache_dir: str | None = field(default_factory=_default_cache_dir)
+    cache_max_bytes: int | None = None
+    serve_max_batch: int = 32
+    serve_batch_window_ms: float = 2.0
+    serve_queue_limit: int = 256
 
     def __post_init__(self) -> None:
+        # Engine imports are deferred to the call: repro.engine.cache is a
+        # leaf module, but keeping config importable without it at module
+        # scope preserves the core -> engine one-way dependency direction.
+        from repro.engine.cache import ENV_FIT_CACHE, parse_bool_env
+        from repro.engine.executor import ENV_EXECUTOR, parse_executor_spec
+        from repro.engine.store import max_bytes_from_env
+
         if self.checkpoints < 1:
             raise ValueError("checkpoints must be >= 1")
         if self.min_prefix < 2:
             raise ValueError("min_prefix must be >= 2")
-        base_executor = self.executor.partition(":")[0]
-        if base_executor not in ("serial", "parallel"):
-            raise ValueError(
-                f"executor must be 'serial', 'parallel' or 'parallel:<n>', got {self.executor!r}"
-            )
+        try:
+            parse_executor_spec(self.executor)
+        except ValueError as exc:
+            raise ValueError(f"invalid executor: {exc}") from None
         if self.max_workers < 0:
             raise ValueError("max_workers must be >= 0 (0 = auto)")
+        # Environment knobs the engine reads lazily are validated here, at
+        # config construction, so a malformed value (ESTIMA_EXECUTOR=
+        # parallel:abc, ESTIMA_FIT_CACHE=maybe, ...) raises a clear error up
+        # front instead of failing deep inside the engine mid-run.
+        env_executor = os.environ.get(ENV_EXECUTOR)
+        if env_executor is not None and env_executor.strip():
+            try:
+                parse_executor_spec(env_executor)
+            except ValueError as exc:
+                raise ValueError(f"invalid {ENV_EXECUTOR} environment variable: {exc}") from None
+        env_fit_cache = os.environ.get(ENV_FIT_CACHE)
+        if env_fit_cache is not None:
+            parse_bool_env(ENV_FIT_CACHE, env_fit_cache)  # raises ValueError when malformed
+        max_bytes_from_env()  # raises ValueError when ESTIMA_CACHE_MAX_BYTES is malformed
+        if self.cache_max_bytes is not None and self.cache_max_bytes < 1:
+            raise ValueError("cache_max_bytes must be >= 1")
+        if self.serve_max_batch < 1:
+            raise ValueError("serve_max_batch must be >= 1")
+        if self.serve_batch_window_ms < 0.0:
+            raise ValueError("serve_batch_window_ms must be >= 0")
+        if self.serve_queue_limit < 1:
+            raise ValueError("serve_queue_limit must be >= 1")
         if self.frequency_ratio <= 0.0:
             raise ValueError("frequency_ratio must be positive")
         if self.dataset_ratio <= 0.0:

@@ -24,6 +24,7 @@ bit-identical to a recomputed one.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -35,6 +36,24 @@ from repro.engine.cache import FIT_CACHE, fit_key
 from .kernels import Kernel
 
 __all__ = ["FittedFunction", "fit_kernel", "fit_all_starts"]
+
+# SciPy's Levenberg-Marquardt backend (MINPACK ``lmdif``) is not reentrant:
+# concurrent calls interfere and return slightly different (timing-dependent)
+# solutions, which would break the engine's bit-identical serial≡threads
+# contract.  LM solves therefore take this lock; the trust-region path and the
+# linear least-squares short-circuit are reproducible under concurrency and
+# run unlocked, so the thread backend still overlaps them with LM solves.
+_LM_LOCK = threading.Lock()
+
+#: Relative margin below which two candidate scores are treated as tied and
+#: the earlier (deterministically ordered) candidate wins.  Scores are not
+#: bit-stable across allocation contexts: numpy's SIMD reductions take
+#: alignment-dependent code paths, and the iterative LM solver amplifies the
+#: resulting last-ULP input differences into ~1e-7-relative score jitter.  A
+#: strict ``<`` lets that noise flip near-tied selections, making "identical"
+#: pipelines disagree at the 1e-8 level; genuine score differences between
+#: distinct fits are far larger than this margin.
+SCORE_TIE_REL = 1e-6
 
 
 @dataclass(frozen=True)
@@ -150,12 +169,21 @@ def _multi_start_fits(
     fits: list[FittedFunction] = []
     for guess in kernel.initial_guesses:
         try:
-            result = optimize.least_squares(
-                _residuals(kernel, x, y_norm),
-                x0=np.asarray(guess, dtype=float),
-                method="trf" if underdetermined else "lm",
-                max_nfev=max_nfev,
-            )
+            if underdetermined:
+                result = optimize.least_squares(
+                    _residuals(kernel, x, y_norm),
+                    x0=np.asarray(guess, dtype=float),
+                    method="trf",
+                    max_nfev=max_nfev,
+                )
+            else:
+                with _LM_LOCK:
+                    result = optimize.least_squares(
+                        _residuals(kernel, x, y_norm),
+                        x0=np.asarray(guess, dtype=float),
+                        method="lm",
+                        max_nfev=max_nfev,
+                    )
         except (ValueError, FloatingPointError):
             continue
         if not np.all(np.isfinite(result.x)):
@@ -213,7 +241,7 @@ def fit_kernel(
     def compute() -> FittedFunction | None:
         best: FittedFunction | None = None
         for candidate in _multi_start_fits(kernel, x, y, max_nfev=max_nfev):
-            if best is None or candidate.train_rmse < best.train_rmse:
+            if best is None or candidate.train_rmse < best.train_rmse * (1.0 - SCORE_TIE_REL):
                 best = candidate
         return best
 

@@ -24,9 +24,10 @@ from typing import Sequence
 import numpy as np
 
 from repro.engine.cache import EXTRAPOLATION_CACHE, extrapolation_key
+from repro.engine.executor import fit_pool_for_config
 
 from .config import EstimaConfig
-from .fitting import FittedFunction, fit_kernel
+from .fitting import SCORE_TIE_REL, FittedFunction, fit_kernel
 from .metrics import rmse
 
 __all__ = ["CandidateFit", "ExtrapolationResult", "extrapolate_series", "candidate_fits"]
@@ -118,25 +119,37 @@ def candidate_fits(
         prefixes: range | list[int] = [n]
     else:
         prefixes = range(min_prefix, n + 1)
-    for prefix in prefixes:
-        px, py = train_x[:prefix], train_y[:prefix]
-        for kernel in config.kernels:
-            fitted = fit_kernel(kernel, px, py)
-            if fitted is None:
-                continue
-            if not fitted.is_realistic(
-                eval_range, allow_negative=allow_negative, max_factor=scale_bound
-            ):
-                continue
-            predicted = fitted(check_x)
-            if not np.all(np.isfinite(predicted)):
-                continue
-            score = rmse(predicted, check_y)
-            if not np.isfinite(score):
-                continue
-            results.append(
-                CandidateFit(fitted=fitted, prefix_length=prefix, checkpoint_rmse=score)
-            )
+
+    # The (prefix, kernel) fit grid is embarrassingly parallel and numpy/
+    # scipy-bound (the solvers release the GIL), so a threads backend fans it
+    # out over the engine's fit pool.  Fits come back in grid order and the
+    # realism/RMSE screening below stays serial, so the surviving candidate
+    # list — and therefore the chosen fit — is identical to the serial loop's.
+    grid = [(prefix, kernel) for prefix in prefixes for kernel in config.kernels]
+    pool = fit_pool_for_config(config)
+    if pool is None:
+        fitted_grid = [fit_kernel(k, train_x[:p], train_y[:p]) for p, k in grid]
+    else:
+        fitted_grid = pool.map(
+            lambda task: fit_kernel(task[1], train_x[: task[0]], train_y[: task[0]]), grid
+        )
+
+    for (prefix, _kernel), fitted in zip(grid, fitted_grid):
+        if fitted is None:
+            continue
+        if not fitted.is_realistic(
+            eval_range, allow_negative=allow_negative, max_factor=scale_bound
+        ):
+            continue
+        predicted = fitted(check_x)
+        if not np.all(np.isfinite(predicted)):
+            continue
+        score = rmse(predicted, check_y)
+        if not np.isfinite(score):
+            continue
+        results.append(
+            CandidateFit(fitted=fitted, prefix_length=prefix, checkpoint_rmse=score)
+        )
     return results, tuple(int(c) for c in check_x)
 
 
@@ -205,7 +218,13 @@ def _extrapolate_series_impl(
             f"no realistic kernel fit found for category {category!r} "
             f"({x.size} measurements, kernels={config.kernel_names})"
         )
-    chosen = min(candidates, key=lambda c: c.checkpoint_rmse)
+    # Epsilon-min over checkpoint RMSE: near-ties (within SCORE_TIE_REL)
+    # resolve to the earlier candidate of the deterministic (prefix, kernel)
+    # grid order, so last-ULP score noise cannot flip the selection.
+    chosen = candidates[0]
+    for candidate in candidates[1:]:
+        if candidate.checkpoint_rmse < chosen.checkpoint_rmse * (1.0 - SCORE_TIE_REL):
+            chosen = candidate
     return ExtrapolationResult(
         category=category,
         cores=np.asarray(x, dtype=int),

@@ -36,9 +36,11 @@ from .cache import (
     FIT_CACHE,
     CacheStats,
     ContentCache,
+    attach_disk_tier,
     cache_stats,
     caches_enabled,
     clear_caches,
+    detach_disk_tier,
     get_cache,
     reset_cache_stats,
     set_caches_enabled,
@@ -47,38 +49,58 @@ from .executor import (
     Executor,
     ParallelExecutor,
     SerialExecutor,
+    ThreadExecutor,
+    active_fit_pool,
     executor_for_config,
+    fit_pool_for_config,
     get_executor,
+    parse_executor_spec,
 )
+from .store import DiskStore, default_cache_dir, store_for
 
 __all__ = [
     "CacheStats",
     "ContentCache",
+    "DiskStore",
     "EXTRAPOLATION_CACHE",
     "Executor",
     "FIT_CACHE",
     "ParallelExecutor",
     "PredictionRequest",
+    "PredictionServer",
     "PredictionService",
     "SerialExecutor",
+    "ThreadExecutor",
+    "active_fit_pool",
+    "attach_disk_tier",
     "cache_stats",
     "caches_enabled",
     "clear_caches",
+    "default_cache_dir",
+    "detach_disk_tier",
     "executor_for_config",
+    "fit_pool_for_config",
     "get_cache",
     "get_executor",
+    "parse_executor_spec",
     "reset_cache_stats",
     "set_caches_enabled",
+    "store_for",
 ]
 
 _LAZY_SERVICE_EXPORTS = ("PredictionService", "PredictionRequest")
+_LAZY_SERVER_EXPORTS = ("PredictionServer",)
 
 
 def __getattr__(name: str):
-    # ``service`` imports repro.core, which imports the cache module above;
-    # loading it lazily keeps the core -> engine dependency acyclic.
+    # ``service`` and ``server`` import repro.core, which imports the cache
+    # module above; loading them lazily keeps core -> engine acyclic.
     if name in _LAZY_SERVICE_EXPORTS:
         from . import service
 
         return getattr(service, name)
+    if name in _LAZY_SERVER_EXPORTS:
+        from . import server
+
+        return getattr(server, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -7,17 +7,24 @@ of independent tasks is mapped:
 
 * :class:`SerialExecutor` — a plain in-process loop; the default, and the
   reference semantics every other backend must reproduce bit-identically;
+* :class:`ThreadExecutor` — a :class:`concurrent.futures.ThreadPoolExecutor`
+  fan-out.  Kernel fitting is numpy/scipy-bound and releases the GIL, so this
+  backend parallelises at the *fit/kernel* level rather than the workload
+  level: when it is the selected backend, :mod:`repro.core.regression` maps
+  the (prefix, kernel) fit grid of every extrapolation through the shared fit
+  pool (see :func:`fit_pool_for_config`), while workloads stay serial
+  in-process and share one prediction service;
 * :class:`ParallelExecutor` — a :class:`concurrent.futures.ProcessPoolExecutor`
   fan-out with deterministic result ordering (results always come back in
   task-submission order, regardless of completion order).
 
 Backends are chosen per run via ``EstimaConfig(executor=...)``, the
-``ESTIMA_EXECUTOR`` environment variable (``serial``, ``parallel`` or
-``parallel:<workers>``), or by passing an :class:`Executor` instance directly
-to the runner layer.  Task functions and task payloads handed to
-:class:`ParallelExecutor` must be picklable (module-level functions and plain
-dataclasses); the runner layer ships workload *names* rather than workload
-objects for exactly this reason.
+``ESTIMA_EXECUTOR`` environment variable (``serial``, ``threads[:N]``,
+``parallel`` or ``parallel:<workers>``), or by passing an :class:`Executor`
+instance directly to the runner layer.  Task functions and task payloads
+handed to :class:`ParallelExecutor` must be picklable (module-level functions
+and plain dataclasses); the runner layer ships workload *names* rather than
+workload objects for exactly this reason.
 
 This module imports nothing from the rest of :mod:`repro`, so any layer can
 use it without cycles.
@@ -26,22 +33,30 @@ use it without cycles.
 from __future__ import annotations
 
 import os
+import threading
 import warnings
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, TypeVar
 
 __all__ = [
     "Executor",
     "SerialExecutor",
+    "ThreadExecutor",
     "ParallelExecutor",
+    "parse_executor_spec",
     "get_executor",
     "executor_for_config",
+    "fit_pool_for_config",
+    "active_fit_pool",
 ]
 
 #: Environment variable naming the default backend (``serial`` when unset).
 ENV_EXECUTOR = "ESTIMA_EXECUTOR"
+
+#: Backend names accepted by :func:`parse_executor_spec`.
+EXECUTOR_NAMES = ("serial", "threads", "parallel")
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -55,9 +70,25 @@ class Executor(ABC):
     #: Whether task functions/payloads must be picklable (process backends).
     requires_pickling: bool = False
 
+    def __init__(self) -> None:
+        self.tasks_mapped = 0
+        self.batches_mapped = 0
+
     @abstractmethod
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         """Apply ``fn`` to every item; results are in input order."""
+
+    def _count(self, n_tasks: int) -> None:
+        self.tasks_mapped += n_tasks
+        self.batches_mapped += 1
+
+    def stats(self) -> dict[str, object]:
+        """Executor counters for ``--stats`` reporting (JSON-friendly)."""
+        return {
+            "backend": self.name,
+            "tasks": self.tasks_mapped,
+            "batches": self.batches_mapped,
+        }
 
     def close(self) -> None:
         """Release backend resources (no-op for stateless backends)."""
@@ -76,7 +107,55 @@ class SerialExecutor(Executor):
     requires_pickling = False
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
-        return [fn(item) for item in items]
+        tasks = list(items)
+        self._count(len(tasks))
+        return [fn(item) for item in tasks]
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool fan-out for GIL-releasing (numpy/scipy-bound) tasks.
+
+    The pool is created lazily and reused across :meth:`map` calls, so the
+    many small fit batches of one prediction do not pay thread start-up each
+    time; :meth:`close` shuts it down.  Results come back in submission
+    order.  ``max_workers=0`` (the default) sizes the pool to the machine's
+    CPU count.
+    """
+
+    name = "threads"
+    requires_pickling = False
+
+    def __init__(self, max_workers: int = 0) -> None:
+        super().__init__()
+        if max_workers < 0:
+            raise ValueError("max_workers must be >= 0 (0 = auto)")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix="estima-fit"
+                )
+            return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        tasks = list(items)
+        self._count(len(tasks))
+        if len(tasks) <= 1:
+            return [fn(item) for item in tasks]
+        # Executor.map preserves input order even when tasks finish out of
+        # order, which keeps fit candidate lists (and campaign rows)
+        # deterministic.
+        return list(self._ensure_pool().map(fn, tasks))
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
 
 
 class ParallelExecutor(Executor):
@@ -93,13 +172,21 @@ class ParallelExecutor(Executor):
     requires_pickling = True
 
     def __init__(self, max_workers: int = 0) -> None:
+        super().__init__()
         if max_workers < 0:
             raise ValueError("max_workers must be >= 0 (0 = auto)")
         self.max_workers = max_workers or os.cpu_count() or 1
         self.fell_back = False
 
+    def stats(self) -> dict[str, object]:
+        stats = super().stats()
+        stats["workers"] = self.max_workers
+        stats["fell_back"] = self.fell_back
+        return stats
+
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         tasks = list(items)
+        self._count(len(tasks))
         if len(tasks) <= 1:
             return [fn(item) for item in tasks]
         chunksize = max(1, len(tasks) // (self.max_workers * 4))
@@ -119,34 +206,56 @@ class ParallelExecutor(Executor):
             return [fn(item) for item in tasks]
 
 
+def parse_executor_spec(spec: str) -> tuple[str, int | None]:
+    """Parse ``"serial"`` / ``"threads[:N]"`` / ``"parallel[:N]"`` strictly.
+
+    Returns ``(backend, workers)`` where ``workers`` is ``None`` when no
+    ``:<n>`` suffix was given.  Raises a clear ``ValueError`` for unknown
+    backends, non-integer suffixes and suffixes on the serial backend — the
+    validation both :func:`get_executor` and ``EstimaConfig`` construction
+    rely on, so a malformed ``ESTIMA_EXECUTOR`` fails fast instead of deep
+    inside the engine.
+    """
+    name, sep, suffix = spec.strip().lower().partition(":")
+    if name not in EXECUTOR_NAMES:
+        raise ValueError(
+            f"unknown executor {spec!r}; expected 'serial', 'threads[:N]' or 'parallel[:N]'"
+        )
+    if not sep:
+        return name, None
+    if name == "serial":
+        raise ValueError(f"executor 'serial' takes no worker count, got {spec!r}")
+    try:
+        workers = int(suffix)
+    except ValueError:
+        raise ValueError(f"invalid worker count in executor spec {spec!r}") from None
+    if workers < 0:
+        raise ValueError(f"worker count must be >= 0 in executor spec {spec!r}")
+    return name, workers
+
+
 def get_executor(
     spec: "Executor | str | None" = None, *, max_workers: int = 0
 ) -> Executor:
     """Resolve an executor from an instance, a backend name, or the environment.
 
     ``spec`` may be an :class:`Executor` (returned as-is), a name —
-    ``"serial"``, ``"parallel"`` or ``"parallel:<n>"`` — or ``None``, in which
-    case the ``ESTIMA_EXECUTOR`` environment variable decides (default
-    ``serial``).  ``max_workers`` applies to the parallel backend and is
-    overridden by an explicit ``parallel:<n>`` suffix.
+    ``"serial"``, ``"threads[:N]"``, ``"parallel"`` or ``"parallel:<n>"`` —
+    or ``None``, in which case the ``ESTIMA_EXECUTOR`` environment variable
+    decides (default ``serial``).  ``max_workers`` applies to the pool
+    backends and is overridden by an explicit ``:<n>`` suffix.
     """
     if isinstance(spec, Executor):
         return spec
-    name = (spec or os.environ.get(ENV_EXECUTOR) or "serial").strip().lower()
-    workers = max_workers
-    if name.startswith("parallel:"):
-        name, _, suffix = name.partition(":")
-        try:
-            workers = int(suffix)
-        except ValueError:
-            raise ValueError(f"invalid worker count in executor spec {spec!r}") from None
+    name, suffix_workers = parse_executor_spec(
+        spec or os.environ.get(ENV_EXECUTOR) or "serial"
+    )
+    workers = suffix_workers if suffix_workers is not None else max_workers
     if name == "serial":
         return SerialExecutor()
-    if name == "parallel":
-        return ParallelExecutor(max_workers=workers)
-    raise ValueError(
-        f"unknown executor {spec!r}; expected 'serial', 'parallel' or 'parallel:<n>'"
-    )
+    if name == "threads":
+        return ThreadExecutor(max_workers=workers)
+    return ParallelExecutor(max_workers=workers)
 
 
 def executor_for_config(config: object, override: "Executor | str | None" = None) -> Executor:
@@ -166,3 +275,76 @@ def executor_for_config(config: object, override: "Executor | str | None" = None
     if spec in (None, "serial"):
         spec = None  # fall through to ESTIMA_EXECUTOR, default serial
     return get_executor(spec, max_workers=workers)
+
+
+# --------------------------------------------------------------------------- #
+# Fit-level thread pool
+# --------------------------------------------------------------------------- #
+
+_FIT_POOL: ThreadExecutor | None = None
+_FIT_POOL_LOCK = threading.Lock()
+_ACTIVE_FIT_POOL = threading.local()
+
+
+def _shared_fit_pool(max_workers: int) -> ThreadExecutor:
+    """The process-global thread pool used for fit-level fan-out.
+
+    One shared pool (first creation fixes its size) instead of a pool per
+    extrapolation call: predictions issue many small fit batches and must not
+    pay pool start-up per batch, and a single bounded pool caps total thread
+    count no matter how many predictions run concurrently.
+    """
+    global _FIT_POOL
+    with _FIT_POOL_LOCK:
+        if _FIT_POOL is None:
+            _FIT_POOL = ThreadExecutor(max_workers=max_workers)
+        return _FIT_POOL
+
+
+class active_fit_pool:
+    """Context manager pinning the fit pool for the current thread.
+
+    The runner layer uses this to route kernel fits through an explicitly
+    constructed :class:`ThreadExecutor` (e.g. the campaign backend) without
+    touching the config: ``with active_fit_pool(executor): ...``.
+    """
+
+    def __init__(self, pool: ThreadExecutor | None) -> None:
+        self.pool = pool
+        self._token: object = None
+
+    def __enter__(self) -> "active_fit_pool":
+        self._token = getattr(_ACTIVE_FIT_POOL, "pool", None)
+        _ACTIVE_FIT_POOL.pool = self.pool
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _ACTIVE_FIT_POOL.pool = self._token
+
+
+def fit_pool_for_config(config: object) -> ThreadExecutor | None:
+    """The thread pool kernel fits should fan out over, or ``None`` for serial.
+
+    Consulted by :func:`repro.core.regression.candidate_fits`.  Resolution:
+    an :class:`active_fit_pool` context pinned by the runner layer wins;
+    otherwise a ``threads[:N]`` backend named by ``config.executor`` or (when
+    the config is at its serial default) ``ESTIMA_EXECUTOR`` selects the
+    shared process-global pool.  Process and serial backends return ``None``
+    — their parallelism (if any) lives at the workload level.
+    """
+    pinned = getattr(_ACTIVE_FIT_POOL, "pool", None)
+    if pinned is not None:
+        return pinned
+    spec = getattr(config, "executor", None)
+    if spec in (None, "serial"):
+        spec = os.environ.get(ENV_EXECUTOR) or "serial"
+    try:
+        name, suffix_workers = parse_executor_spec(spec)
+    except ValueError:
+        return None  # strict validation happens at config construction
+    if name != "threads":
+        return None
+    workers = suffix_workers if suffix_workers is not None else int(
+        getattr(config, "max_workers", 0) or 0
+    )
+    return _shared_fit_pool(workers)

@@ -1,0 +1,470 @@
+"""Async serving front-end over the batched :class:`PredictionService`.
+
+``estima serve`` turns the one-shot CLI pipeline into a long-lived prediction
+server: an asyncio front-end accepts JSON requests over a local (unix) socket
+or stdin/stdout, coalesces concurrent requests into micro-batches, and serves
+them from one shared :class:`~repro.engine.service.PredictionService` — so
+the service's content-addressed dedup (and, when enabled, the tiered
+fit/extrapolation caches underneath it) applies *across clients*, not only
+within one call.
+
+Protocol (newline-delimited JSON, one object per line in both directions):
+
+request::
+
+    {"id": 7, "target_cores": 48, "baseline": false,
+     "measurements": {... MeasurementSet.to_dict() ...},   # or:
+     "workload": "intruder", "machine": "opteron48", "measure_cores": 12,
+     "config": {"checkpoints": 2, "use_software_stalls": true, ...}}
+
+response::
+
+    {"id": 7, "ok": true, "result": {... same schema as `estima predict
+     --json`: repro.runner.io.prediction_payload ...}}
+    {"id": 7, "ok": false, "error": "..."}                 # on bad requests
+
+Micro-batching: the batcher waits up to ``batch_window_ms`` after the first
+queued request for more to arrive, up to ``max_batch`` per
+:meth:`~repro.engine.service.PredictionService.predict_batch` call.  The
+service runs ``share_max_target=False``, so every served prediction is
+bit-identical to a standalone :class:`~repro.core.predictor.EstimaPredictor`
+run at that exact target (pinned by tests); batching buys dedup of identical
+requests and shared cache warm-up, never different numbers.
+
+Backpressure: requests park in a bounded queue; when it is full, new
+submissions (and therefore connection reads) block until the batcher drains —
+a slow pipeline slows clients down instead of growing memory without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.config import EstimaConfig
+from repro.core.measurement import MeasurementSet
+
+from .service import PredictionRequest, PredictionService
+
+__all__ = ["ServerMetrics", "PredictionServer", "parse_request", "serve_stdio", "serve_unix"]
+
+#: ``config`` keys a request may override (numerics-affecting knobs only;
+#: engine knobs stay under server control).
+_REQUEST_CONFIG_FIELDS = (
+    "kernel_names",
+    "checkpoints",
+    "min_prefix",
+    "use_software_stalls",
+    "use_frontend_stalls",
+    "frequency_ratio",
+    "dataset_ratio",
+    "max_extrapolation_factor",
+)
+
+
+class RequestError(ValueError):
+    """A malformed prediction request (reported to the client, not fatal)."""
+
+
+def parse_request(payload: Mapping[str, Any], base_config: EstimaConfig) -> PredictionRequest:
+    """Validate one JSON request and build the service-layer request.
+
+    Measurements come inline (``"measurements"``, the ``MeasurementSet``
+    JSON schema that ``estima measure`` writes) or are simulated on demand
+    from ``"workload"``/``"machine"`` (+ optional ``"measure_cores"``) — the
+    same two sources ``estima predict`` accepts.
+    """
+    if not isinstance(payload, Mapping):
+        raise RequestError("request must be a JSON object")
+    try:
+        target_cores = int(payload["target_cores"])
+    except KeyError:
+        raise RequestError("request needs 'target_cores'") from None
+    except (TypeError, ValueError):
+        raise RequestError(f"invalid 'target_cores': {payload.get('target_cores')!r}") from None
+
+    config = base_config
+    overrides = payload.get("config") or {}
+    if overrides:
+        if not isinstance(overrides, Mapping):
+            raise RequestError("'config' must be a JSON object")
+        unknown = set(overrides) - set(_REQUEST_CONFIG_FIELDS)
+        if unknown:
+            raise RequestError(f"unsupported config overrides: {sorted(unknown)}")
+        changes = dict(overrides)
+        if "kernel_names" in changes:
+            changes["kernel_names"] = tuple(changes["kernel_names"])
+        try:
+            config = base_config.with_(**changes)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RequestError(f"invalid config overrides: {exc}") from None
+
+    if "measurements" in payload:
+        try:
+            measurements = MeasurementSet.from_dict(payload["measurements"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RequestError(f"invalid 'measurements': {exc}") from None
+    elif payload.get("workload") and payload.get("machine"):
+        measurements = _simulate(
+            str(payload["workload"]),
+            str(payload["machine"]),
+            payload.get("measure_cores"),
+        )
+    else:
+        raise RequestError(
+            "request needs either 'measurements' or both 'workload' and 'machine'"
+        )
+
+    measure_cores = payload.get("measure_cores")
+    if measure_cores is not None:
+        try:
+            measurements = measurements.restrict_to(int(measure_cores))
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"invalid 'measure_cores': {exc}") from None
+
+    try:
+        return PredictionRequest(
+            measurements=measurements,
+            target_cores=target_cores,
+            baseline=bool(payload.get("baseline", False)),
+            config=config,
+        )
+    except ValueError as exc:
+        raise RequestError(str(exc)) from None
+
+
+def _simulate(workload: str, machine: str, measure_cores: Any) -> MeasurementSet:
+    # Simulation pulls in the workload registry and machine models; importing
+    # lazily keeps `repro.engine` free of an eager engine -> simulation edge.
+    from repro.machine.machines import get_machine
+    from repro.simulation import MachineSimulator
+    from repro.workloads.registry import get_workload
+
+    try:
+        spec = get_machine(machine)
+        target = get_workload(workload)
+    except KeyError as exc:
+        raise RequestError(str(exc)) from None
+    cores = int(measure_cores) if measure_cores is not None else spec.total_threads
+    return MachineSimulator(spec).sweep(
+        target, core_counts=[c for c in spec.core_counts() if c <= cores]
+    )
+
+
+def result_payload(prediction: Any) -> dict:
+    """The response document for one prediction (shared CLI/server schema)."""
+    from repro.core.result import ScalabilityPrediction
+    from repro.runner.io import baseline_payload, prediction_payload
+
+    if isinstance(prediction, ScalabilityPrediction):
+        return prediction_payload(prediction)
+    return baseline_payload(prediction)
+
+
+@dataclass
+class ServerMetrics:
+    """Throughput/latency/batching counters of one server instance."""
+
+    requests: int = 0
+    responses: int = 0
+    errors: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    max_batch_size: int = 0
+    total_latency_s: float = 0.0
+    max_latency_s: float = 0.0
+    started_at: float = field(default_factory=time.perf_counter)
+
+    def record_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_requests += size
+        self.max_batch_size = max(self.max_batch_size, size)
+
+    def record_latency(self, seconds: float) -> None:
+        self.responses += 1
+        self.total_latency_s += seconds
+        self.max_latency_s = max(self.max_latency_s, seconds)
+
+    def as_dict(self) -> dict[str, object]:
+        elapsed = max(time.perf_counter() - self.started_at, 1e-9)
+        return {
+            "requests": self.requests,
+            "responses": self.responses,
+            "errors": self.errors,
+            "batches": self.batches,
+            "mean_batch_size": (self.batched_requests / self.batches) if self.batches else 0.0,
+            "max_batch_size": self.max_batch_size,
+            "throughput_rps": self.responses / elapsed,
+            "mean_latency_ms": (
+                1000.0 * self.total_latency_s / self.responses if self.responses else 0.0
+            ),
+            "max_latency_ms": 1000.0 * self.max_latency_s,
+        }
+
+
+@dataclass
+class _Pending:
+    """One parsed request waiting for (or being served by) the batcher."""
+
+    request: PredictionRequest
+    future: "asyncio.Future[Any]"
+    enqueued_at: float
+
+
+class PredictionServer:
+    """Micro-batching asyncio front-end over one :class:`PredictionService`.
+
+    Parameters mirror the ``serve_*`` knobs of :class:`EstimaConfig` (the
+    config's values are the defaults).  The pipeline itself runs in a worker
+    thread (`run_in_executor`), so the event loop keeps accepting and
+    coalescing requests while a batch computes.
+    """
+
+    def __init__(
+        self,
+        config: EstimaConfig | None = None,
+        *,
+        service: PredictionService | None = None,
+        max_batch: int | None = None,
+        batch_window_ms: float | None = None,
+        queue_limit: int | None = None,
+    ) -> None:
+        self.config = config or EstimaConfig()
+        # share_max_target=False: served numbers must be bit-identical to a
+        # standalone per-request EstimaPredictor run (the serving contract).
+        self.service = service or PredictionService(self.config, share_max_target=False)
+        self.max_batch = max_batch if max_batch is not None else self.config.serve_max_batch
+        window = (
+            batch_window_ms if batch_window_ms is not None else self.config.serve_batch_window_ms
+        )
+        self.batch_window_s = window / 1000.0
+        self.queue_limit = queue_limit if queue_limit is not None else self.config.serve_queue_limit
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_ms must be >= 0")
+        self.metrics = ServerMetrics()
+        self._queue: "asyncio.Queue[_Pending] | None" = None
+        self._batcher: "asyncio.Task[None] | None" = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Start the batcher task (idempotent; bound to the running loop)."""
+        if self._batcher is None:
+            self._queue = asyncio.Queue(maxsize=self.queue_limit)
+            self.metrics.started_at = time.perf_counter()
+            self._batcher = asyncio.get_running_loop().create_task(self._batch_loop())
+
+    async def stop(self) -> None:
+        """Cancel the batcher; queued requests get a server-shutdown error."""
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        if self._queue is not None:
+            while not self._queue.empty():
+                pending = self._queue.get_nowait()
+                if not pending.future.done():
+                    pending.future.set_exception(RuntimeError("server shutting down"))
+            self._queue = None
+
+    def stats(self) -> dict[str, object]:
+        """Throughput/latency counters plus the service's per-tier cache stats."""
+        return {
+            "server": self.metrics.as_dict(),
+            "batching": {
+                "max_batch": self.max_batch,
+                "batch_window_ms": self.batch_window_s * 1000.0,
+                "queue_limit": self.queue_limit,
+            },
+            "caches": self.service.cache_stats(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Request paths
+    # ------------------------------------------------------------------ #
+    async def submit(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Serve one JSON request object; returns the JSON response object."""
+        await self.start()
+        assert self._queue is not None
+        request_id = payload.get("id") if isinstance(payload, Mapping) else None
+        self.metrics.requests += 1
+        try:
+            # Parsing can simulate a measurement sweep (workload/machine
+            # requests), which is CPU-heavy — keep it off the event loop so
+            # other clients' requests keep coalescing meanwhile.
+            request = await asyncio.get_running_loop().run_in_executor(
+                None, parse_request, payload, self.config
+            )
+        except RequestError as exc:
+            self.metrics.errors += 1
+            return {"id": request_id, "ok": False, "error": str(exc)}
+        pending = _Pending(
+            request=request,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued_at=time.perf_counter(),
+        )
+        await self._queue.put(pending)  # blocks when full: backpressure
+        try:
+            prediction = await pending.future
+        except Exception as exc:  # pipeline errors are per-batch, not fatal
+            self.metrics.errors += 1
+            return {"id": request_id, "ok": False, "error": str(exc)}
+        self.metrics.record_latency(time.perf_counter() - pending.enqueued_at)
+        return {"id": request_id, "ok": True, "result": result_payload(prediction)}
+
+    async def handle_stream(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one NDJSON client connection until EOF.
+
+        Lines are dispatched concurrently, so one connection still benefits
+        from micro-batching; responses carry the request ``id`` for
+        correlation (they may arrive out of order).
+        """
+        await self.start()
+        tasks: set[asyncio.Task] = set()
+        write_lock = asyncio.Lock()
+        # Cap the per-connection in-flight work: without it a fast client
+        # could have the read loop spawn a task (holding its parsed payload)
+        # for every line long before the batcher drains any of them, and the
+        # bounded queue's backpressure would never reach the client.
+        in_flight = asyncio.Semaphore(self.queue_limit)
+
+        async def respond(line: bytes) -> None:
+            try:
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    self.metrics.requests += 1
+                    self.metrics.errors += 1
+                    response: dict[str, Any] = {
+                        "id": None, "ok": False, "error": f"bad JSON: {exc}"
+                    }
+                else:
+                    response = await self.submit(payload)
+                async with write_lock:
+                    writer.write(json.dumps(response).encode() + b"\n")
+                    await writer.drain()
+            finally:
+                in_flight.release()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                await in_flight.acquire()  # stops reading when saturated
+                task = asyncio.get_running_loop().create_task(respond(line))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            for task in tasks:
+                task.cancel()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, RuntimeError):
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Micro-batcher
+    # ------------------------------------------------------------------ #
+    async def _batch_loop(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        batch: list[_Pending] = []
+        try:
+            while True:
+                batch = [await self._queue.get()]
+                deadline = loop.time() + self.batch_window_s
+                # Coalesce: wait out the latency window (or until the batch is
+                # full) so concurrent clients land in one predict_batch call
+                # and dedup applies across them.
+                while len(batch) < self.max_batch:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(await asyncio.wait_for(self._queue.get(), remaining))
+                    except asyncio.TimeoutError:
+                        break
+                self.metrics.record_batch(len(batch))
+                requests = [pending.request for pending in batch]
+                try:
+                    predictions = await loop.run_in_executor(
+                        None, self.service.predict_batch, requests
+                    )
+                except Exception as exc:
+                    for pending in batch:
+                        if not pending.future.done():
+                            pending.future.set_exception(
+                                RuntimeError(f"prediction failed: {exc}")
+                            )
+                    continue
+                for pending, prediction in zip(batch, predictions):
+                    if not pending.future.done():
+                        pending.future.set_result(prediction)
+                batch = []
+        except asyncio.CancelledError:
+            # stop() drains the queue, but the batch popped here would
+            # otherwise be abandoned with its submitters awaiting forever.
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(RuntimeError("server shutting down"))
+            raise
+
+
+# --------------------------------------------------------------------------- #
+# Transports
+# --------------------------------------------------------------------------- #
+
+
+async def serve_unix(server: PredictionServer, socket_path: str) -> None:
+    """Serve NDJSON connections on a unix domain socket until cancelled.
+
+    A stale socket file from a previous (killed) server is removed before
+    binding — unix sockets are not cleaned up on process death — and the
+    path is unlinked again on the way out so restarts always succeed.
+    """
+    await server.start()
+    path = Path(socket_path)
+    if path.is_socket():
+        path.unlink()
+    unix_server = await asyncio.start_unix_server(server.handle_stream, path=socket_path)
+    try:
+        async with unix_server:
+            await unix_server.serve_forever()
+    finally:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+async def serve_stdio(server: PredictionServer) -> None:
+    """Serve NDJSON requests on stdin/stdout until EOF."""
+    loop = asyncio.get_running_loop()
+    reader = asyncio.StreamReader()
+    await loop.connect_read_pipe(
+        lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+    )
+    transport, protocol = await loop.connect_write_pipe(
+        asyncio.streams.FlowControlMixin, sys.stdout
+    )
+    writer = asyncio.StreamWriter(transport, protocol, None, loop)
+    await server.handle_stream(reader, writer)

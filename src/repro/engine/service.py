@@ -35,7 +35,15 @@ from repro.core.predictor import EstimaPredictor
 from repro.core.result import ScalabilityPrediction
 from repro.core.time_extrapolation import TimeExtrapolation, TimeExtrapolationPrediction
 
-from .cache import ContentCache, cache_stats, caches_enabled, config_digest, digest, measurements_digest
+from .cache import (
+    ContentCache,
+    attach_disk_tier,
+    cache_stats,
+    caches_enabled,
+    config_digest,
+    digest,
+    measurements_digest,
+)
 
 __all__ = ["PredictionRequest", "PredictionService"]
 
@@ -74,6 +82,13 @@ class PredictionService:
         target is computed independently.
     max_entries:
         Bound on the number of retained predictions.
+    cache_dir:
+        Directory of the persistent disk tier; overrides
+        ``config.cache_dir``.  When either names a directory *and* the fit
+        cache is enabled, the service attaches one shared
+        :class:`~repro.engine.store.DiskStore` to its own prediction region
+        and to the global fit/extrapolation regions, so a restarted service
+        (or a different process) starts warm.
     """
 
     def __init__(
@@ -82,10 +97,19 @@ class PredictionService:
         *,
         share_max_target: bool = True,
         max_entries: int = 4096,
+        cache_dir: str | None = None,
     ) -> None:
         self.config = config or EstimaConfig()
         self.share_max_target = share_max_target
         self._cache = ContentCache("service", enabled=True, max_entries=max_entries)
+        resolved_dir = cache_dir or (
+            self.config.cache_dir if self.config.use_fit_cache else None
+        )
+        if resolved_dir:
+            store = attach_disk_tier(
+                resolved_dir, max_bytes=self.config.cache_max_bytes
+            )
+            self._cache.attach_store(store)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -140,9 +164,9 @@ class PredictionService:
         return [results[i] for i in range(len(requests))]
 
     def cache_stats(self) -> dict[str, dict[str, int]]:
-        """Hit/miss counters: this service's dedup cache + the global regions."""
+        """Per-tier hit/miss counters: this service's dedup cache + the global regions."""
         stats = cache_stats()
-        stats["prediction"] = self._cache.stats.as_dict()
+        stats["prediction"] = self._cache.stats_dict()
         return stats
 
     # ------------------------------------------------------------------ #

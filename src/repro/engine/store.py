@@ -1,0 +1,349 @@
+"""Disk-backed second cache tier: content-addressed files with LRU eviction.
+
+The in-memory :class:`~repro.engine.cache.ContentCache` regions pay for each
+kernel fit once *per process*; every new process (a CLI run, a campaign
+worker, a serving restart) still starts cold.  :class:`DiskStore` adds a
+persistent tier underneath them:
+
+* entries are **content-addressed**: the file name is the same digest the
+  memory tier uses, so any process that computes the same inputs reads the
+  same file — no coordination needed beyond the filesystem;
+* writes are **atomic** (temp file + ``os.replace`` in the same directory),
+  so concurrent writers and readers never observe a torn entry;
+* the store is **size-bounded**: once the configured byte budget is
+  exceeded, least-recently-used entries are evicted (reads refresh an
+  entry's recency);
+* entries are **schema-versioned**: a payload whose embedded version does
+  not match :data:`SCHEMA_VERSION` is ignored as a miss, so stale formats
+  from older code are never deserialised into current objects.
+
+Layout under the store root (one subdirectory per cache region)::
+
+    <root>/
+      fit/ab/abcdef....entry
+      extrapolation/12/1234....entry
+      service/...
+
+A store is attached to cache regions with
+:func:`repro.engine.cache.attach_disk_tier`, configured through
+``EstimaConfig(cache_dir=...)`` / ``ESTIMA_CACHE_DIR`` (byte budget via
+``ESTIMA_CACHE_MAX_BYTES``), and inspected or cleared with the
+``estima cache`` CLI subcommand.
+
+Like the sibling ``cache`` and ``executor`` modules, this module imports
+nothing from the rest of :mod:`repro` so the core layer can depend on it
+without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_MAX_BYTES",
+    "StoreStats",
+    "DiskStore",
+    "default_cache_dir",
+    "store_for",
+]
+
+#: Version stamped into every entry; bump when cached object layouts change.
+#: Entries carrying any other version are ignored (treated as misses).
+SCHEMA_VERSION = 1
+
+#: Default byte budget of a store (overridden by ``ESTIMA_CACHE_MAX_BYTES``).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Environment variable naming the disk-tier directory.
+ENV_CACHE_DIR = "ESTIMA_CACHE_DIR"
+#: Environment variable bounding the disk tier's size in bytes.
+ENV_CACHE_MAX_BYTES = "ESTIMA_CACHE_MAX_BYTES"
+
+_ENTRY_SUFFIX = ".entry"
+
+_MISS = object()
+
+
+@dataclass
+class StoreStats:
+    """Operational counters of one :class:`DiskStore`."""
+
+    reads: int = 0
+    read_hits: int = 0
+    writes: int = 0
+    evictions: int = 0
+    invalid_entries: int = 0  # schema mismatches / undecodable files seen
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "reads": self.reads,
+            "read_hits": self.read_hits,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "invalid_entries": self.invalid_entries,
+        }
+
+
+@dataclass
+class _Entry:
+    size: int
+    last_used: int  # monotonically increasing access stamp (process-local)
+
+
+class DiskStore:
+    """A content-addressed, size-bounded, schema-versioned file store.
+
+    One store serves several regions (``fit``, ``extrapolation``, ...), each
+    in its own subdirectory; the eviction budget spans all of them.  All
+    methods are thread-safe; cross-process safety comes from atomic renames
+    and from treating every unreadable file as a miss.
+    """
+
+    def __init__(self, root: str | Path, *, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.root = Path(root)
+        self.max_bytes = int(max_bytes)
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+        self._index: dict[Path, _Entry] = {}
+        self._total_bytes = 0
+        self._clock = 0
+        self._scanned = False
+
+    # ------------------------------------------------------------------ #
+    # Lookup / insert
+    # ------------------------------------------------------------------ #
+    def get(self, region: str, key: str) -> Any:
+        """Return the stored value, or :data:`MISS` when absent/stale.
+
+        Use :meth:`contains`-free idiom: ``value = store.get(r, k)``;
+        ``store.is_miss(value)`` tells the two apart (``None`` is storable).
+        """
+        path = self._path(region, key)
+        with self._lock:
+            self._ensure_scanned()
+            self.stats.reads += 1
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return _MISS
+        value = self._decode(blob)
+        if value is _MISS:
+            return _MISS
+        with self._lock:
+            self.stats.read_hits += 1
+            self._touch(path)
+        return value
+
+    @staticmethod
+    def is_miss(value: Any) -> bool:
+        return value is _MISS
+
+    def put(self, region: str, key: str, value: Any) -> bool:
+        """Persist ``value`` atomically; returns False if it cannot be stored.
+
+        Unpicklable values (and filesystem errors) are swallowed: the disk
+        tier is an accelerator, never a correctness dependency.
+        """
+        try:
+            blob = pickle.dumps(
+                {"schema": SCHEMA_VERSION, "region": region, "key": key, "value": value},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception:
+            return False
+        path = self._path(region, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        with self._lock:
+            self._ensure_scanned()
+            previous = self._index.get(path)
+            if previous is not None:
+                self._total_bytes -= previous.size
+            self._clock += 1
+            self._index[path] = _Entry(size=len(blob), last_used=self._clock)
+            self._total_bytes += len(blob)
+            self.stats.writes += 1
+            self._evict_locked()
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Maintenance / introspection
+    # ------------------------------------------------------------------ #
+    def clear(self, region: str | None = None) -> int:
+        """Delete all entries (or one region's); returns the number removed."""
+        with self._lock:
+            self._ensure_scanned()
+            roots = (self.root / region,) if region else (self.root,)
+            removed = 0
+            for path in list(self._index):
+                if any(root == path or root in path.parents for root in roots):
+                    removed += self._remove_locked(path, count_eviction=False)
+            return removed
+
+    def entry_count(self, region: str | None = None) -> int:
+        with self._lock:
+            self._ensure_scanned()
+            if region is None:
+                return len(self._index)
+            root = self.root / region
+            return sum(1 for path in self._index if root in path.parents)
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            self._ensure_scanned()
+            return self._total_bytes
+
+    def regions(self) -> dict[str, dict[str, int]]:
+        """Per-region entry counts and byte totals (for ``estima cache stats``)."""
+        with self._lock:
+            self._ensure_scanned()
+            summary: dict[str, dict[str, int]] = {}
+            for path, entry in self._index.items():
+                region = path.relative_to(self.root).parts[0]
+                bucket = summary.setdefault(region, {"entries": 0, "bytes": 0})
+                bucket["entries"] += 1
+                bucket["bytes"] += entry.size
+            return summary
+
+    def describe(self) -> dict[str, object]:
+        """One JSON-friendly summary of the store's state."""
+        return {
+            "root": str(self.root),
+            "max_bytes": self.max_bytes,
+            "total_bytes": self.total_bytes(),
+            "entries": self.entry_count(),
+            "schema_version": SCHEMA_VERSION,
+            "regions": self.regions(),
+            "counters": self.stats.as_dict(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _path(self, region: str, key: str) -> Path:
+        # Two-character fan-out keeps directories small at high entry counts.
+        return self.root / region / key[:2] / f"{key}{_ENTRY_SUFFIX}"
+
+    def _decode(self, blob: bytes) -> Any:
+        try:
+            payload = pickle.loads(blob)
+        except Exception:
+            with self._lock:
+                self.stats.invalid_entries += 1
+            return _MISS
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+            with self._lock:
+                self.stats.invalid_entries += 1
+            return _MISS
+        return payload.get("value")
+
+    def _ensure_scanned(self) -> None:
+        """Build the in-memory index from the directory tree (lock held)."""
+        if self._scanned:
+            return
+        self._scanned = True
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.rglob(f"*{_ENTRY_SUFFIX}")):
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            self._clock += 1
+            self._index[path] = _Entry(size=size, last_used=self._clock)
+            self._total_bytes += size
+
+    def _touch(self, path: Path) -> None:
+        entry = self._index.get(path)
+        if entry is not None:
+            self._clock += 1
+            entry.last_used = self._clock
+
+    def _evict_locked(self) -> None:
+        while self._total_bytes > self.max_bytes and len(self._index) > 1:
+            victim = min(self._index, key=lambda p: self._index[p].last_used)
+            self._remove_locked(victim, count_eviction=True)
+
+    def _remove_locked(self, path: Path, *, count_eviction: bool) -> int:
+        entry = self._index.pop(path, None)
+        if entry is None:
+            return 0
+        self._total_bytes -= entry.size
+        if count_eviction:
+            self.stats.evictions += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return 1
+
+
+def default_cache_dir() -> Path:
+    """The disk-tier directory used when none is configured explicitly.
+
+    ``ESTIMA_CACHE_DIR`` wins; otherwise a per-user directory under
+    ``~/.cache`` keeps runs from different checkouts sharing warm fits.
+    """
+    env = os.environ.get(ENV_CACHE_DIR, "").strip()
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "estima"
+
+
+def max_bytes_from_env(default: int = DEFAULT_MAX_BYTES) -> int:
+    """The byte budget configured via ``ESTIMA_CACHE_MAX_BYTES`` (validated)."""
+    raw = os.environ.get(ENV_CACHE_MAX_BYTES, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid {ENV_CACHE_MAX_BYTES}={raw!r}: expected a positive integer byte count"
+        ) from None
+    if value < 1:
+        raise ValueError(f"invalid {ENV_CACHE_MAX_BYTES}={raw!r}: must be >= 1")
+    return value
+
+
+_STORES: dict[Path, DiskStore] = {}
+_STORES_LOCK = threading.Lock()
+
+
+def store_for(root: str | Path, *, max_bytes: int | None = None) -> DiskStore:
+    """One shared :class:`DiskStore` per resolved root directory.
+
+    Sharing matters: the LRU index and byte accounting live on the store
+    object, so every cache region attached to the same directory must go
+    through the same instance.  ``max_bytes`` applies on first creation
+    (later callers inherit the existing budget).
+    """
+    resolved = Path(root).expanduser().resolve()
+    with _STORES_LOCK:
+        store = _STORES.get(resolved)
+        if store is None:
+            budget = max_bytes if max_bytes is not None else max_bytes_from_env()
+            store = _STORES[resolved] = DiskStore(resolved, max_bytes=budget)
+        return store

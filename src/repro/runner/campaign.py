@@ -23,7 +23,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.core import EstimaConfig
-from repro.engine.executor import Executor, executor_for_config
+from repro.engine.executor import Executor, ThreadExecutor, active_fit_pool, executor_for_config
 from repro.engine.service import PredictionRequest, PredictionService
 from repro.machine.machines import MachineSpec
 from repro.workloads.registry import TABLE4_WORKLOADS, get_workload
@@ -231,6 +231,15 @@ class ErrorCampaign:
             # Workers build their own service; tasks and results cross the
             # process boundary, the service (and its caches) do not.
             outcomes = executor.map(_run_campaign_task, tasks)
+        elif isinstance(executor, ThreadExecutor):
+            # The thread backend parallelises at the fit/kernel level, not
+            # the workload level: workloads stay serial in-process (sharing
+            # one service, like the serial backend) while the regression
+            # layer fans each (prefix, kernel) fit grid out over this
+            # executor's pool.  Rows are bit-identical either way.
+            service = PredictionService(self.config)
+            with active_fit_pool(executor):
+                outcomes = [_run_campaign_task(task, service) for task in tasks]
         else:
             # In-process: share one service so identical measurement sets are
             # deduplicated across workloads too, not only across targets.
@@ -250,5 +259,6 @@ class ErrorCampaign:
                 "executor": executor.name,
                 "workloads": len(tasks),
                 "caches": cache_totals,
+                "executor_stats": executor.stats(),
             },
         )

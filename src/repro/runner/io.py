@@ -17,15 +17,63 @@ import numpy as np
 
 from repro.core.measurement import MeasurementSet
 from repro.core.result import ScalabilityPrediction
+from repro.core.time_extrapolation import TimeExtrapolationPrediction
 
 __all__ = [
     "save_measurements",
     "load_measurements",
+    "prediction_payload",
+    "baseline_payload",
     "save_prediction_csv",
     "save_prediction_json",
     "load_prediction_json",
     "save_table",
 ]
+
+
+def prediction_payload(prediction: ScalabilityPrediction) -> dict:
+    """The machine-readable document of one ESTIMA prediction.
+
+    This is the shared response schema of ``estima predict --json`` and the
+    ``estima serve`` front-end: both emit exactly this structure, so clients
+    of one consume the other unchanged.
+    """
+    return {
+        "workload": prediction.workload,
+        "machine": prediction.machine,
+        "measured_cores": [int(c) for c in prediction.measured.cores],
+        "target_cores": prediction.target_cores,
+        "predicted_peak_cores": prediction.predicted_peak_cores(),
+        "prediction_cores": [int(c) for c in prediction.prediction_cores],
+        "predicted_times_s": [float(t) for t in prediction.predicted_times],
+        "stalls_per_core": [float(s) for s in prediction.stalls_per_core],
+        "scaling_factor": {
+            "kernel": prediction.scaling_factor.kernel_name,
+            "correlation": float(prediction.scaling_factor.correlation),
+        },
+        "category_kernels": {
+            name: result.kernel_name
+            for name, result in prediction.category_extrapolations.items()
+        },
+        "dominant_categories": [
+            {"category": name, "fraction": float(fraction)}
+            for name, fraction in prediction.dominant_categories(prediction.target_cores)
+        ],
+    }
+
+
+def baseline_payload(prediction: TimeExtrapolationPrediction) -> dict:
+    """The machine-readable document of one time-extrapolation baseline run."""
+    return {
+        "workload": prediction.workload,
+        "machine": prediction.machine,
+        "measured_cores": [int(c) for c in prediction.measured.cores],
+        "target_cores": prediction.target_cores,
+        "predicted_peak_cores": prediction.predicted_peak_cores(),
+        "prediction_cores": [int(c) for c in prediction.prediction_cores],
+        "predicted_times_s": [float(t) for t in prediction.predicted_times],
+        "kernel": prediction.extrapolation.kernel_name,
+    }
 
 
 def save_measurements(measurements: MeasurementSet, path: str | Path) -> Path:

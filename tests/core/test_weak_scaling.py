@@ -1,0 +1,102 @@
+"""Tests for the weak-scaling helpers (Section 4.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.weak_scaling import (
+    dataset_ratio_from_footprints,
+    scale_categories,
+    scale_extrapolated_stalls,
+)
+
+
+class TestScaleExtrapolatedStalls:
+    def test_unit_ratio_is_identity(self):
+        stalls = np.array([1e9, 2e9, 3e9])
+        scaled = scale_extrapolated_stalls(stalls, dataset_ratio=1.0)
+        np.testing.assert_array_equal(scaled, stalls)
+
+    def test_scales_linearly_with_ratio(self):
+        stalls = np.array([1.0, 2.0, 4.0])
+        np.testing.assert_allclose(
+            scale_extrapolated_stalls(stalls, dataset_ratio=2.5), stalls * 2.5
+        )
+
+    def test_accepts_shrinking_datasets(self):
+        stalls = np.array([10.0, 20.0])
+        np.testing.assert_allclose(
+            scale_extrapolated_stalls(stalls, dataset_ratio=0.5), [5.0, 10.0]
+        )
+
+    def test_list_input_becomes_float_array(self):
+        scaled = scale_extrapolated_stalls([1, 2, 3], dataset_ratio=2.0)
+        assert scaled.dtype == float
+        np.testing.assert_array_equal(scaled, [2.0, 4.0, 6.0])
+
+    def test_empty_series_stays_empty(self):
+        assert scale_extrapolated_stalls(np.array([]), dataset_ratio=3.0).size == 0
+
+    @pytest.mark.parametrize("ratio", [0.0, -1.0])
+    def test_nonpositive_ratio_rejected(self, ratio):
+        with pytest.raises(ValueError, match="dataset_ratio"):
+            scale_extrapolated_stalls(np.array([1.0]), dataset_ratio=ratio)
+
+
+class TestScaleCategories:
+    CATEGORIES = {
+        "mem_stalls": np.array([4.0, 8.0]),
+        "fpu_stalls": np.array([2.0, 2.0]),
+    }
+
+    def test_default_exponent_is_uniform_scaling(self):
+        scaled = scale_categories(self.CATEGORIES, dataset_ratio=3.0)
+        np.testing.assert_allclose(scaled["mem_stalls"], [12.0, 24.0])
+        np.testing.assert_allclose(scaled["fpu_stalls"], [6.0, 6.0])
+
+    def test_per_category_exponents(self):
+        scaled = scale_categories(
+            self.CATEGORIES,
+            dataset_ratio=4.0,
+            exponents={"fpu_stalls": 0.0, "mem_stalls": 0.5},
+        )
+        np.testing.assert_allclose(scaled["fpu_stalls"], self.CATEGORIES["fpu_stalls"])
+        np.testing.assert_allclose(scaled["mem_stalls"], self.CATEGORIES["mem_stalls"] * 2.0)
+
+    def test_unknown_exponent_keys_are_ignored(self):
+        scaled = scale_categories(
+            self.CATEGORIES, dataset_ratio=2.0, exponents={"not_a_category": 3.0}
+        )
+        np.testing.assert_allclose(scaled["mem_stalls"], [8.0, 16.0])
+
+    def test_unit_ratio_any_exponent_is_identity(self):
+        scaled = scale_categories(
+            self.CATEGORIES, dataset_ratio=1.0, exponents={"mem_stalls": 2.7}
+        )
+        np.testing.assert_allclose(scaled["mem_stalls"], self.CATEGORIES["mem_stalls"])
+
+    def test_inputs_are_not_mutated(self):
+        original = self.CATEGORIES["mem_stalls"].copy()
+        scale_categories(self.CATEGORIES, dataset_ratio=5.0)
+        np.testing.assert_array_equal(self.CATEGORIES["mem_stalls"], original)
+
+    def test_empty_mapping_gives_empty_mapping(self):
+        assert scale_categories({}, dataset_ratio=2.0) == {}
+
+    def test_nonpositive_ratio_rejected(self):
+        with pytest.raises(ValueError, match="dataset_ratio"):
+            scale_categories(self.CATEGORIES, dataset_ratio=0.0)
+
+
+class TestDatasetRatioFromFootprints:
+    def test_ratio_of_footprints(self):
+        assert dataset_ratio_from_footprints(512.0, 2048.0) == 4.0
+
+    def test_sub_unit_ratio_for_smaller_target(self):
+        assert dataset_ratio_from_footprints(1000.0, 250.0) == 0.25
+
+    @pytest.mark.parametrize("measured,target", [(0.0, 10.0), (10.0, 0.0), (-1.0, 5.0)])
+    def test_nonpositive_footprints_rejected(self, measured, target):
+        with pytest.raises(ValueError, match="footprints"):
+            dataset_ratio_from_footprints(measured, target)

@@ -1,0 +1,301 @@
+"""Tests for the async serving front-end (micro-batching, protocol, parity).
+
+The serving contract pinned here is the acceptance criterion of the serving
+layer: for a fixed request set, micro-batched results must be bit-identical
+to standalone per-request :class:`EstimaPredictor` runs at the exact target.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import EstimaConfig, EstimaPredictor, TimeExtrapolation
+from repro.engine.server import PredictionServer, RequestError, parse_request, serve_unix
+
+TARGETS = (24, 36, 48)
+
+
+@pytest.fixture(scope="module")
+def measured(intruder_opteron_sweep):
+    return intruder_opteron_sweep.restrict_to(12)
+
+
+@pytest.fixture(scope="module")
+def requests_payloads(measured):
+    """A fixed request set: three targets plus one baseline, inline measurements."""
+    payloads = [
+        {"id": f"t{target}", "target_cores": target, "measurements": measured.to_dict()}
+        for target in TARGETS
+    ]
+    payloads.append(
+        {
+            "id": "baseline",
+            "target_cores": 48,
+            "baseline": True,
+            "measurements": measured.to_dict(),
+        }
+    )
+    return payloads
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestParseRequest:
+    def test_inline_measurements(self, measured):
+        request = parse_request(
+            {"target_cores": 24, "measurements": measured.to_dict()}, EstimaConfig()
+        )
+        assert request.target_cores == 24
+        np.testing.assert_array_equal(request.measurements.cores, measured.cores)
+
+    def test_config_overrides(self, measured):
+        request = parse_request(
+            {
+                "target_cores": 24,
+                "measurements": measured.to_dict(),
+                "config": {"checkpoints": 4, "use_software_stalls": False},
+            },
+            EstimaConfig(),
+        )
+        assert request.config.checkpoints == 4
+        assert not request.config.use_software_stalls
+
+    def test_engine_knobs_are_not_overridable(self, measured):
+        with pytest.raises(RequestError, match="unsupported config overrides"):
+            parse_request(
+                {
+                    "target_cores": 24,
+                    "measurements": measured.to_dict(),
+                    "config": {"executor": "parallel"},
+                },
+                EstimaConfig(),
+            )
+
+    def test_missing_target_rejected(self, measured):
+        with pytest.raises(RequestError, match="target_cores"):
+            parse_request({"measurements": measured.to_dict()}, EstimaConfig())
+
+    def test_needs_measurements_or_workload(self):
+        with pytest.raises(RequestError, match="measurements"):
+            parse_request({"target_cores": 24}, EstimaConfig())
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(RequestError):
+            parse_request(
+                {"target_cores": 24, "workload": "doom", "machine": "xeon20"},
+                EstimaConfig(),
+            )
+
+
+class TestMicroBatchedParity:
+    def test_batched_results_bit_identical_to_per_request_predictor(
+        self, measured, requests_payloads
+    ):
+        """Acceptance: serve micro-batching never changes a single bit."""
+        server = PredictionServer(EstimaConfig(), batch_window_ms=50.0, max_batch=16)
+
+        async def run():
+            responses = await asyncio.gather(
+                *[server.submit(p) for p in requests_payloads]
+            )
+            stats = server.stats()
+            await server.stop()
+            return responses, stats
+
+        responses, stats = _run(run())
+        assert all(r["ok"] for r in responses)
+        # All five concurrent submissions coalesced into one predict_batch.
+        assert stats["server"]["batches"] == 1
+        assert stats["server"]["max_batch_size"] == len(requests_payloads)
+
+        by_id = {r["id"]: r["result"] for r in responses}
+        for target in TARGETS:
+            direct = EstimaPredictor(EstimaConfig()).predict(measured, target_cores=target)
+            served = by_id[f"t{target}"]
+            assert served["target_cores"] == target
+            assert served["predicted_times_s"] == [float(t) for t in direct.predicted_times]
+            assert served["stalls_per_core"] == [float(s) for s in direct.stalls_per_core]
+            assert served["scaling_factor"]["kernel"] == direct.scaling_factor.kernel_name
+        baseline = TimeExtrapolation(EstimaConfig()).predict(measured, target_cores=48)
+        assert by_id["baseline"]["predicted_times_s"] == [
+            float(t) for t in baseline.predicted_times
+        ]
+        assert by_id["baseline"]["kernel"] == baseline.extrapolation.kernel_name
+
+    def test_duplicate_requests_dedup_across_clients(self, measured):
+        server = PredictionServer(EstimaConfig(), batch_window_ms=50.0)
+        payload = {"target_cores": 24, "measurements": measured.to_dict()}
+
+        async def run():
+            responses = await asyncio.gather(
+                *[server.submit(dict(payload, id=i)) for i in range(4)]
+            )
+            caches = server.service.cache_stats()["prediction"]
+            await server.stop()
+            return responses, caches
+
+        responses, caches = _run(run())
+        assert all(r["ok"] for r in responses)
+        assert caches["misses"] + caches["disk_misses"] <= 2  # one compute, three dedup hits
+        assert caches["hits"] == 3
+
+    def test_bad_request_gets_error_response_not_exception(self):
+        server = PredictionServer(EstimaConfig())
+
+        async def run():
+            response = await server.submit({"id": 9, "target_cores": 24})
+            await server.stop()
+            return response
+
+        response = _run(run())
+        assert response == {
+            "id": 9,
+            "ok": False,
+            "error": "request needs either 'measurements' or both 'workload' and 'machine'",
+        }
+
+    def test_pipeline_error_is_reported_per_request(self, measured):
+        # target below the measured maximum makes the predictor raise.
+        server = PredictionServer(EstimaConfig())
+        payload = {
+            "id": 1,
+            "target_cores": 2,
+            "measurements": measured.to_dict(),
+        }
+
+        async def run():
+            response = await server.submit(payload)
+            await server.stop()
+            return response
+
+        response = _run(run())
+        assert not response["ok"]
+        assert "prediction failed" in response["error"]
+        assert server.metrics.errors == 1
+
+    def test_backpressure_queue_is_bounded(self, measured):
+        server = PredictionServer(EstimaConfig(), queue_limit=2, batch_window_ms=0.0)
+
+        async def run():
+            await server.start()
+            assert server._queue.maxsize == 2
+            await server.stop()
+
+        _run(run())
+
+
+class TestUnixSocketTransport:
+    def test_ndjson_round_trip_over_socket(self, tmp_path, measured):
+        socket_path = str(tmp_path / "estima.sock")
+        server = PredictionServer(EstimaConfig(), batch_window_ms=20.0)
+        payloads = [
+            {"id": i, "target_cores": t, "measurements": measured.to_dict()}
+            for i, t in enumerate((24, 48))
+        ]
+
+        async def client():
+            reader, writer = await asyncio.open_unix_connection(socket_path)
+            for payload in payloads:
+                writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+            writer.write_eof()
+            lines = []
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                lines.append(json.loads(line))
+            writer.close()
+            await writer.wait_closed()
+            return lines
+
+        async def run():
+            serve_task = asyncio.get_running_loop().create_task(
+                serve_unix(server, socket_path)
+            )
+            await asyncio.sleep(0.1)  # let the socket come up
+            try:
+                responses = await asyncio.wait_for(client(), timeout=120)
+            finally:
+                serve_task.cancel()
+                try:
+                    await serve_task
+                except asyncio.CancelledError:
+                    pass
+                await server.stop()
+            return responses
+
+        responses = _run(run())
+        assert {r["id"] for r in responses} == {0, 1}
+        assert all(r["ok"] for r in responses)
+        direct = EstimaPredictor(EstimaConfig()).predict(measured, target_cores=24)
+        served = next(r for r in responses if r["id"] == 0)
+        assert served["result"]["predicted_times_s"] == [
+            float(t) for t in direct.predicted_times
+        ]
+
+    def test_stale_socket_file_is_replaced_on_start(self, tmp_path):
+        """A socket left behind by a killed server must not block restarts."""
+        import socket as socket_module
+
+        socket_path = str(tmp_path / "estima.sock")
+        stale = socket_module.socket(socket_module.AF_UNIX)
+        stale.bind(socket_path)
+        stale.close()  # closing does not unlink: this is the stale-file case
+
+        server = PredictionServer(EstimaConfig())
+
+        async def run():
+            serve_task = asyncio.get_running_loop().create_task(
+                serve_unix(server, socket_path)
+            )
+            await asyncio.sleep(0.1)
+            try:
+                reader, writer = await asyncio.open_unix_connection(socket_path)
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                serve_task.cancel()
+                try:
+                    await serve_task
+                except asyncio.CancelledError:
+                    pass
+                await server.stop()
+
+        _run(run())  # binding over the stale socket must not raise
+
+    def test_malformed_json_line_gets_error_response(self, tmp_path):
+        socket_path = str(tmp_path / "estima.sock")
+        server = PredictionServer(EstimaConfig())
+
+        async def run():
+            serve_task = asyncio.get_running_loop().create_task(
+                serve_unix(server, socket_path)
+            )
+            await asyncio.sleep(0.1)
+            try:
+                reader, writer = await asyncio.open_unix_connection(socket_path)
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                writer.write_eof()
+                line = await asyncio.wait_for(reader.readline(), timeout=30)
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                serve_task.cancel()
+                try:
+                    await serve_task
+                except asyncio.CancelledError:
+                    pass
+                await server.stop()
+            return json.loads(line)
+
+        response = _run(run())
+        assert not response["ok"]
+        assert "bad JSON" in response["error"]

@@ -148,6 +148,20 @@ class TestCampaignEquivalence:
         assert parallel.rows == serial_campaign.rows
         assert parallel.engine_stats["executor"] == "parallel"
 
+    def test_threads_rows_identical(self, serial_campaign):
+        """The fit-level thread backend reproduces the serial rows bit for bit."""
+        threaded = _campaign(executor="threads:2").run(CAMPAIGN_WORKLOADS)
+        assert threaded.rows == serial_campaign.rows
+        assert threaded.engine_stats["executor"] == "threads"
+        # The backend really fanned fits out (its counters moved).
+        assert threaded.engine_stats["executor_stats"]["tasks"] > 0
+
+    def test_threads_via_config_rows_identical(self, serial_campaign):
+        threaded = _campaign(config=EstimaConfig(executor="threads", max_workers=2)).run(
+            CAMPAIGN_WORKLOADS
+        )
+        assert threaded.rows == serial_campaign.rows
+
     def test_fit_cached_rows_identical_and_cache_hits(self, serial_campaign):
         cached = _campaign(config=EstimaConfig(use_fit_cache=True)).run(
             CAMPAIGN_WORKLOADS

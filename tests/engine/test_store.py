@@ -1,0 +1,185 @@
+"""Tests for the disk-backed cache tier and its wiring into ContentCache."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import ContentCache, attach_disk_tier, detach_disk_tier, get_cache
+from repro.engine.store import SCHEMA_VERSION, DiskStore, store_for
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return DiskStore(tmp_path / "cache", max_bytes=1 << 20)
+
+
+class TestDiskStore:
+    def test_roundtrip(self, store):
+        assert store.put("fit", "abcd1234", {"x": 1, "y": [1.0, 2.0]})
+        value = store.get("fit", "abcd1234")
+        assert not store.is_miss(value)
+        assert value == {"x": 1, "y": [1.0, 2.0]}
+
+    def test_absent_key_is_miss(self, store):
+        assert store.is_miss(store.get("fit", "nope"))
+        assert store.stats.reads == 1
+        assert store.stats.read_hits == 0
+
+    def test_none_is_storable(self, store):
+        store.put("fit", "aa11", None)
+        value = store.get("fit", "aa11")
+        assert not store.is_miss(value)
+        assert value is None
+
+    def test_regions_are_separate(self, store):
+        store.put("fit", "aa11", "fit-value")
+        store.put("extrapolation", "aa11", "ex-value")
+        assert store.get("fit", "aa11") == "fit-value"
+        assert store.get("extrapolation", "aa11") == "ex-value"
+        assert set(store.regions()) == {"fit", "extrapolation"}
+
+    def test_persists_across_instances(self, tmp_path):
+        first = DiskStore(tmp_path / "c")
+        first.put("fit", "aa11", ("shared", 42))
+        second = DiskStore(tmp_path / "c")  # a "new process"
+        assert second.get("fit", "aa11") == ("shared", 42)
+
+    def test_schema_mismatch_is_ignored(self, store, tmp_path):
+        store.put("fit", "aa11", "current")
+        path = store._path("fit", "aa11")
+        path.write_bytes(
+            pickle.dumps({"schema": SCHEMA_VERSION + 1, "key": "aa11", "value": "stale"})
+        )
+        assert store.is_miss(store.get("fit", "aa11"))
+        assert store.stats.invalid_entries == 1
+
+    def test_corrupt_file_is_ignored(self, store):
+        store.put("fit", "aa11", "value")
+        store._path("fit", "aa11").write_bytes(b"\x00not a pickle")
+        assert store.is_miss(store.get("fit", "aa11"))
+        assert store.stats.invalid_entries == 1
+
+    def test_size_bounded_lru_eviction(self, tmp_path):
+        store = DiskStore(tmp_path / "c", max_bytes=2048)
+        payload = "x" * 256  # each entry ~ a few hundred bytes pickled
+        for i in range(16):
+            store.put("fit", f"k{i:02d}", payload)
+        assert store.total_bytes() <= 2048
+        assert store.stats.evictions > 0
+        assert 0 < store.entry_count() < 16
+        # The most recently written keys survive.
+        assert store.get("fit", "k15") == payload
+
+    def test_read_refreshes_recency(self, tmp_path):
+        store = DiskStore(tmp_path / "c", max_bytes=1600)
+        payload = "x" * 128
+        store.put("fit", "keep", payload)
+        store.put("fit", "other", payload)
+        for i in range(12):
+            store.get("fit", "keep")  # keep it hot
+            store.put("fit", f"filler{i}", payload)
+        assert store.get("fit", "keep") == payload
+
+    def test_clear_whole_store_and_region(self, store):
+        store.put("fit", "aa11", 1)
+        store.put("extrapolation", "bb22", 2)
+        assert store.clear("fit") == 1
+        assert store.is_miss(store.get("fit", "aa11"))
+        assert store.get("extrapolation", "bb22") == 2
+        assert store.clear() == 1
+        assert store.entry_count() == 0
+
+    def test_describe_is_json_friendly(self, store):
+        import json
+
+        store.put("fit", "aa11", np.arange(4))
+        json.dumps(store.describe())  # must not raise
+
+    def test_rejects_nonpositive_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskStore(tmp_path, max_bytes=0)
+
+    def test_store_for_shares_instances(self, tmp_path):
+        a = store_for(tmp_path / "shared")
+        b = store_for(tmp_path / "shared")
+        assert a is b
+
+
+class TestTieredContentCache:
+    def test_disk_tier_serves_memory_misses(self, tmp_path):
+        store = DiskStore(tmp_path / "c")
+        cache = ContentCache("t", enabled=True, store=store)
+        assert cache.get_or_compute("aa11", lambda: "computed") == "computed"
+        assert cache.disk_stats.misses == 1  # both tiers missed: one compute
+        cache.clear()  # simulate a fresh process (memory tier gone)
+        calls = []
+        value = cache.get_or_compute("aa11", lambda: calls.append(1) or "recomputed")
+        assert value == "computed"  # served from disk, not recomputed
+        assert calls == []
+        assert cache.stats.misses == 2
+        assert cache.disk_stats.hits == 1
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        cache = ContentCache("t", enabled=True, store=DiskStore(tmp_path / "c"))
+        cache.get_or_compute("aa11", lambda: "v")
+        cache.clear()
+        cache.get_or_compute("aa11", lambda: "other")  # disk hit, promoted
+        cache.get_or_compute("aa11", lambda: "other")  # now a memory hit
+        assert cache.stats.hits == 1
+        assert cache.disk_stats.hits == 1
+
+    def test_valid_predicate_applies_to_disk_entries(self, tmp_path):
+        cache = ContentCache("t", enabled=True, store=DiskStore(tmp_path / "c"))
+        cache.get_or_compute("aa11", lambda: 10)
+        cache.clear()
+        value = cache.get_or_compute("aa11", lambda: 20, valid=lambda v: v >= 15)
+        assert value == 20  # stale disk entry rejected and overwritten
+        assert cache.disk_stats.misses == 2
+        cache.clear()
+        assert cache.get_or_compute("aa11", lambda: 30, valid=lambda v: v >= 15) == 20
+
+    def test_without_store_behaviour_unchanged(self):
+        cache = ContentCache("t", enabled=True)
+        cache.get_or_compute("k", lambda: 1)
+        cache.get_or_compute("k", lambda: 2)
+        assert cache.stats_dict() == {"hits": 1, "misses": 1, "disk_hits": 0, "disk_misses": 0}
+
+    def test_attach_disk_tier_to_global_regions(self, tmp_path):
+        store = attach_disk_tier(tmp_path / "c")
+        try:
+            assert get_cache("fit").store is store
+            assert get_cache("extrapolation").store is store
+        finally:
+            detach_disk_tier()
+        assert get_cache("fit").store is None
+
+
+class TestCrossProcessWarmStart:
+    """The acceptance flow: process 2 re-fits zero kernels after process 1."""
+
+    def test_fits_survive_a_simulated_process_restart(self, tmp_path):
+        from repro.core.fitting import fit_kernel
+        from repro.core.kernels import get_kernel
+        from repro.engine.cache import FIT_CACHE, caches_enabled
+
+        cores = np.arange(1, 13, dtype=float)
+        values = 1e9 * (1.0 + 0.3 * cores + 0.02 * cores**2)
+        store = attach_disk_tier(tmp_path / "c")
+        try:
+            with caches_enabled(True):
+                cold = fit_kernel(get_kernel("Rat22"), cores, values)
+                # "Restart": memory tier emptied, counters zeroed, disk kept.
+                FIT_CACHE.clear()
+                FIT_CACHE.reset_stats()
+                warm = fit_kernel(get_kernel("Rat22"), cores, values)
+            assert warm.params == cold.params
+            assert warm.train_rmse == cold.train_rmse
+            assert FIT_CACHE.disk_stats.hits == 1
+            assert FIT_CACHE.disk_stats.misses == 0  # zero kernels re-fitted
+        finally:
+            detach_disk_tier()
+            FIT_CACHE.clear()
+            FIT_CACHE.reset_stats()

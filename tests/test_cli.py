@@ -181,3 +181,181 @@ class TestCampaignCommand:
         )
         assert code == 2
         assert "invalid --targets" in capsys.readouterr().err
+
+    def test_stats_flag_prints_executor_and_tier_counters(self, capsys):
+        code = main(
+            CAMPAIGN_ARGS + ["--targets", "full=20", "--fit-cache", "--stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "executor counters:" in out
+        assert "backend=serial" in out
+        assert "cache tiers:" in out
+
+    def test_json_engine_block_has_executor_stats(self, capsys):
+        code = main(
+            CAMPAIGN_ARGS + ["--targets", "full=20", "--stats", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        executor_stats = payload["engine"]["executor_stats"]
+        assert executor_stats["backend"] == "serial"
+        assert executor_stats["tasks"] == 2
+
+
+class TestPredictStats:
+    PREDICT_ARGS = [
+        "predict", "--workload", "genome", "--machine", "xeon20",
+        "--measure-cores", "10", "--target-cores", "20",
+    ]
+
+    def test_stats_text_block(self, capsys):
+        code = main(self.PREDICT_ARGS + ["--fit-cache", "--stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine: executor=serial" in out
+        assert "fit:" in out and "hits" in out
+
+    def test_stats_json_block(self, capsys):
+        code = main(self.PREDICT_ARGS + ["--fit-cache", "--stats", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        caches = payload["engine"]["caches"]
+        # hits when an earlier in-process test already warmed the region,
+        # misses otherwise — either way the fit cache was consulted.
+        assert caches["fit"]["hits"] + caches["fit"]["misses"] > 0
+        assert set(caches["fit"]) == {"hits", "misses", "disk_hits", "disk_misses"}
+
+    def test_no_stats_flag_omits_engine_block(self, capsys):
+        code = main(self.PREDICT_ARGS + ["--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "engine" not in payload
+
+    def test_threads_executor_accepted(self, capsys):
+        code = main(self.PREDICT_ARGS + ["--executor", "threads:2", "--stats"])
+        assert code == 0
+        assert "executor=threads:2" in capsys.readouterr().out
+
+    def test_invalid_executor_rejected(self, capsys):
+        code = main(self.PREDICT_ARGS + ["--executor", "warp"])
+        assert code == 2
+        assert "invalid --executor" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_stats_on_empty_dir(self, tmp_path, capsys):
+        code = main(["cache", "stats", "--cache-dir", str(tmp_path / "c"), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 0
+        assert payload["schema_version"] >= 1
+
+    def test_warm_then_stats_then_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "c")
+        code = main(
+            [
+                "cache", "warm", "--cache-dir", cache_dir, "--machine", "xeon20",
+                "--workloads", "genome", "--measure-cores", "10",
+                "--target-cores", "20", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["warmed"] == ["genome"]
+        assert payload["store"]["entries"] > 0
+        assert "fit" in payload["store"]["regions"]
+
+        # Simulate a process restart: drop the in-memory tier (the disk tier
+        # survives), exactly what a fresh `estima predict` process would see.
+        from repro.engine.cache import clear_caches
+
+        clear_caches()
+
+        # A later predict run in the same cache dir starts warm: the fit
+        # region is served entirely from disk, re-fitting zero kernels.
+        code = main(
+            [
+                "predict", "--workload", "genome", "--machine", "xeon20",
+                "--measure-cores", "10", "--target-cores", "20",
+                "--fit-cache", "--cache-dir", cache_dir, "--stats", "--json",
+            ]
+        )
+        assert code == 0
+        caches = json.loads(capsys.readouterr().out)["engine"]["caches"]
+        assert caches["fit"]["disk_misses"] == 0
+        assert caches["fit"]["disk_hits"] > 0
+        assert caches["extrapolation"]["disk_misses"] == 0
+
+        code = main(["cache", "clear", "--cache-dir", cache_dir, "--json"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["removed"] > 0
+
+    def test_cache_dir_implies_fit_cache(self, tmp_path, capsys):
+        """--cache-dir alone must use the warmed tier, not silently ignore it."""
+        cache_dir = str(tmp_path / "c")
+        assert main(
+            ["cache", "warm", "--cache-dir", cache_dir, "--machine", "xeon20",
+             "--workloads", "genome", "--measure-cores", "10",
+             "--target-cores", "20"]
+        ) == 0
+        capsys.readouterr()
+        from repro.engine.cache import clear_caches
+
+        clear_caches()  # simulated process restart
+        code = main(
+            ["predict", "--workload", "genome", "--machine", "xeon20",
+             "--measure-cores", "10", "--target-cores", "20",
+             "--cache-dir", cache_dir, "--stats", "--json"]  # no --fit-cache
+        )
+        assert code == 0
+        caches = json.loads(capsys.readouterr().out)["engine"]["caches"]
+        assert caches["fit"]["disk_hits"] > 0
+
+    def test_warm_requires_machine_and_target(self, tmp_path, capsys):
+        code = main(["cache", "warm", "--cache-dir", str(tmp_path / "c")])
+        assert code == 2
+        assert "needs --machine and --target-cores" in capsys.readouterr().err
+
+    def test_warm_rejects_unknown_workloads(self, tmp_path, capsys):
+        code = main(
+            ["cache", "warm", "--cache-dir", str(tmp_path / "c"),
+             "--machine", "xeon20", "--target-cores", "20", "--workloads", "doom"]
+        )
+        assert code == 2
+        assert "unknown workloads" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_round_trip_over_stdio_subprocess(self, tmp_path):
+        """End-to-end: the `estima serve` process answers NDJSON on stdio."""
+        import subprocess
+        import sys as _sys
+        from pathlib import Path
+
+        measurements = tmp_path / "meas.json"
+        assert main(
+            ["measure", "--workload", "genome", "--machine", "xeon20",
+             "--cores", "10", "--output", str(measurements)]
+        ) == 0
+        request = {
+            "id": 1,
+            "target_cores": 20,
+            "measurements": json.loads(measurements.read_text()),
+        }
+        src = Path(__file__).resolve().parent.parent / "src"
+        proc = subprocess.run(
+            [_sys.executable, "-m", "repro.cli", "serve"],
+            input=json.dumps(request) + "\n",
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env={**__import__("os").environ, "PYTHONPATH": str(src)},
+        )
+        assert proc.returncode == 0, proc.stderr
+        response = json.loads(proc.stdout.strip().splitlines()[-1])
+        assert response["id"] == 1 and response["ok"]
+        assert len(response["result"]["predicted_times_s"]) == 20
+        # the shutdown report on stderr is machine-readable
+        stats = json.loads(proc.stderr.strip().splitlines()[-1])
+        assert stats["server"]["responses"] == 1
