@@ -20,11 +20,15 @@ simulation substrate:
     out over a process pool and ``--fit-cache`` memoizes kernel fits; both are
     verified to produce the same numbers as the serial default.
 
-``estima serve --socket /tmp/estima.sock``
+``estima serve --socket /tmp/estima.sock`` / ``--tcp HOST:PORT``
     Long-lived serving mode: accept JSON prediction requests (the
-    ``estima predict --json`` schema) over a unix socket or stdin/stdout,
-    coalesce concurrent requests into micro-batches on the prediction
-    service, and report throughput/latency/cache counters on shutdown.
+    ``estima predict --json`` schema) over stdin/stdout, a unix socket or a
+    TCP listener, coalesce concurrent requests into micro-batches on the
+    prediction service, and report throughput/latency/cache counters on
+    shutdown.  ``--workers N`` (or ``ESTIMA_SERVE_WORKERS``) forks N worker
+    processes behind the socket, sharing the persistent disk cache tier; a
+    ``{"op": "campaign"}`` request streams Table-4 style campaign rows over
+    the same protocol as they complete.
 
 ``estima cache stats|clear|warm``
     Manage the persistent disk tier of the fit/extrapolation caches
@@ -46,6 +50,7 @@ import argparse
 import asyncio
 import json
 import sys
+import time
 from contextlib import nullcontext
 from pathlib import Path
 
@@ -56,7 +61,7 @@ from repro.engine.executor import get_executor
 from repro.engine.store import default_cache_dir, store_for
 from repro.machine.machines import MACHINES, get_machine
 from repro.runner.campaign import ErrorCampaign
-from repro.runner.io import prediction_payload, save_table
+from repro.runner.io import campaign_result_payload, prediction_payload, save_table
 from repro.simulation import MachineSimulator
 from repro.workloads.registry import TABLE4_WORKLOADS, WORKLOADS, get_workload
 
@@ -174,10 +179,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="serve JSON prediction requests over stdin/stdout or a unix socket",
+        help="serve JSON prediction requests over stdin/stdout, a unix socket or TCP",
     )
     serve.add_argument(
         "--socket", default=None, help="unix socket path (default: stdin/stdout)"
+    )
+    serve.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="TCP listening address (port 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes behind the socket "
+        "(default: $ESTIMA_SERVE_WORKERS or 0 = serve in-process; needs --tcp or --socket)",
     )
     serve.add_argument(
         "--max-batch", type=int, default=None, help="micro-batch size bound"
@@ -460,32 +479,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         save_table(rows, args.output)
 
     if args.as_json:
-        payload = {
-            "machine": result.machine,
-            "measurement_cores": result.measurement_cores,
-            "target_labels": list(result.target_labels),
-            "rows": [
-                {
-                    "workload": row.workload,
-                    "max_errors_pct": {k: float(v) for k, v in row.max_errors_pct.items()},
-                    "baseline_errors_pct": {
-                        k: float(v) for k, v in row.baseline_errors_pct.items()
-                    },
-                    "behaviour_correct": bool(row.behaviour_correct),
-                }
-                for row in result.rows
-            ],
-            "aggregates": {
-                label: {
-                    "average_error_pct": result.average_error(label),
-                    "std_error_pct": result.std_error(label),
-                    "max_error_pct": result.max_error(label),
-                }
-                for label in result.target_labels
-            },
-            "all_behaviours_correct": bool(result.all_behaviours_correct()),
-            "engine": result.engine_stats,
-        }
+        # Built by the same helper the serve protocol streams rows through,
+        # so `estima serve` campaign rows are bit-identical to this output.
+        payload = campaign_result_payload(result)
+        payload["engine"] = result.engine_stats
         print(json.dumps(payload, indent=2))
         return 0
 
@@ -516,14 +513,64 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.engine.server import PredictionServer, serve_stdio, serve_unix
+    from repro.engine.pool import WorkerPool, parse_tcp_address, serve_workers_from_env
+    from repro.engine.server import PredictionServer, serve_stdio, serve_tcp, serve_unix
 
-    config = EstimaConfig(
-        # An explicit --cache-dir would be silently useless without the fit
-        # cache, so it implies --fit-cache.
-        use_fit_cache=args.fit_cache or bool(args.cache_dir),
-        **({"cache_dir": args.cache_dir} if args.cache_dir else {}),
-    )
+    if args.tcp and args.socket:
+        print("serve takes at most one of --tcp / --socket", file=sys.stderr)
+        return 2
+    try:
+        workers = args.workers if args.workers is not None else serve_workers_from_env()
+        config = EstimaConfig(
+            # An explicit --cache-dir would be silently useless without the
+            # fit cache, so it implies --fit-cache.
+            use_fit_cache=args.fit_cache or bool(args.cache_dir),
+            serve_workers=workers,
+            serve_tcp=args.tcp,
+            **({"cache_dir": args.cache_dir} if args.cache_dir else {}),
+        )
+    except ValueError as exc:
+        print(f"invalid serve configuration: {exc}", file=sys.stderr)
+        return 2
+
+    if config.serve_workers:
+        # Worker-pool mode: a supervisor accepts on the listening socket and
+        # dispatches connections to N forked PredictionServer processes.
+        if not (args.tcp or args.socket):
+            print("--workers needs a socket transport (--tcp or --socket)", file=sys.stderr)
+            return 2
+        pool = WorkerPool(
+            config,
+            workers=config.serve_workers,
+            tcp=args.tcp,
+            unix_socket=args.socket,
+            max_batch=args.max_batch,
+            batch_window_ms=args.batch_window_ms,
+            queue_limit=args.queue_limit,
+        )
+        pool.start()
+        if args.tcp:
+            host, port = pool.address
+            print(
+                f"serving on tcp {host}:{port} with {config.serve_workers} workers",
+                file=sys.stderr,
+                flush=True,
+            )
+        else:
+            print(
+                f"serving on unix socket {args.socket} with {config.serve_workers} workers",
+                file=sys.stderr,
+                flush=True,
+            )
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        summary = pool.stop()
+        print(json.dumps(summary), file=sys.stderr)
+        return 0
+
     server = PredictionServer(
         config,
         max_batch=args.max_batch,
@@ -531,10 +578,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
     )
 
+    def announce_tcp(address: tuple) -> None:
+        print(f"serving on tcp {address[0]}:{address[1]}", file=sys.stderr, flush=True)
+
     async def run() -> None:
         try:
-            if args.socket:
-                print(f"serving on unix socket {args.socket}", file=sys.stderr)
+            if args.tcp:
+                host, port = parse_tcp_address(args.tcp)
+                await serve_tcp(server, host, port, on_listening=announce_tcp)
+            elif args.socket:
+                print(f"serving on unix socket {args.socket}", file=sys.stderr, flush=True)
                 await serve_unix(server, args.socket)
             else:
                 await serve_stdio(server)

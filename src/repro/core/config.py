@@ -94,6 +94,16 @@ class EstimaConfig:
     serve_queue_limit:
         Bound of the server's request queue; submissions beyond it block
         (backpressure) until the batcher drains.
+    serve_workers:
+        ``estima serve`` worker-pool size: ``0`` (the default) serves
+        in-process; ``N >= 1`` forks N worker processes behind one listening
+        socket (see :mod:`repro.engine.pool`).  ``ESTIMA_SERVE_WORKERS``
+        provides the CLI default; like ``ESTIMA_EXECUTOR``, a malformed
+        value is rejected here at construction.
+    serve_tcp:
+        ``HOST:PORT`` TCP listening address for ``estima serve --tcp``
+        (``None`` keeps stdio/unix-socket serving).  Validated strictly at
+        construction; port 0 asks the listener for a free port.
 
     None of the engine knobs (``executor``, ``max_workers``,
     ``use_fit_cache``, ``cache_*``, ``serve_*``) affect predicted numbers —
@@ -117,6 +127,8 @@ class EstimaConfig:
     serve_max_batch: int = 32
     serve_batch_window_ms: float = 2.0
     serve_queue_limit: int = 256
+    serve_workers: int = 0
+    serve_tcp: str | None = None
 
     def __post_init__(self) -> None:
         # Engine imports are deferred to the call: repro.engine.cache is a
@@ -124,6 +136,11 @@ class EstimaConfig:
         # scope preserves the core -> engine one-way dependency direction.
         from repro.engine.cache import ENV_FIT_CACHE, parse_bool_env
         from repro.engine.executor import ENV_EXECUTOR, parse_executor_spec
+        from repro.engine.pool import (
+            ENV_SERVE_WORKERS,
+            parse_serve_workers,
+            parse_tcp_address,
+        )
         from repro.engine.store import max_bytes_from_env
 
         if self.checkpoints < 1:
@@ -158,6 +175,12 @@ class EstimaConfig:
             raise ValueError("serve_batch_window_ms must be >= 0")
         if self.serve_queue_limit < 1:
             raise ValueError("serve_queue_limit must be >= 1")
+        parse_serve_workers(self.serve_workers)  # raises ValueError when malformed
+        env_serve_workers = os.environ.get(ENV_SERVE_WORKERS)
+        if env_serve_workers is not None and env_serve_workers.strip():
+            parse_serve_workers(env_serve_workers, source=ENV_SERVE_WORKERS)
+        if self.serve_tcp is not None:
+            parse_tcp_address(self.serve_tcp)  # raises ValueError when malformed
         if self.frequency_ratio <= 0.0:
             raise ValueError("frequency_ratio must be positive")
         if self.dataset_ratio <= 0.0:

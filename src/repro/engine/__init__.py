@@ -12,7 +12,12 @@ pieces:
   statistics;
 * :mod:`repro.engine.service` — a batched :class:`PredictionService` that
   deduplicates the shared extrapolation work behind the multiple targets a
-  campaign evaluates.
+  campaign evaluates;
+* :mod:`repro.engine.server` / :mod:`repro.engine.pool` — the serving
+  front-end: an asyncio NDJSON :class:`PredictionServer` (stdio, unix
+  socket or TCP; micro-batching, backpressure, streamed campaigns) and the
+  pre-fork :class:`WorkerPool` supervisor that puts N of them behind one
+  listening socket.
 
 Picking a backend
 -----------------
@@ -56,6 +61,7 @@ from .executor import (
     get_executor,
     parse_executor_spec,
 )
+from .pool import WorkerPool, parse_serve_workers, parse_tcp_address, serve_workers_from_env
 from .store import DiskStore, default_cache_dir, store_for
 
 __all__ = [
@@ -71,6 +77,7 @@ __all__ = [
     "PredictionService",
     "SerialExecutor",
     "ThreadExecutor",
+    "WorkerPool",
     "active_fit_pool",
     "attach_disk_tier",
     "cache_stats",
@@ -83,7 +90,10 @@ __all__ = [
     "get_cache",
     "get_executor",
     "parse_executor_spec",
+    "parse_serve_workers",
+    "parse_tcp_address",
     "reset_cache_stats",
+    "serve_workers_from_env",
     "set_caches_enabled",
     "store_for",
 ]

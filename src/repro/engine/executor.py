@@ -38,7 +38,7 @@ import warnings
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Iterable, TypeVar
+from typing import Callable, Iterable, Iterator, TypeVar
 
 __all__ = [
     "Executor",
@@ -78,6 +78,17 @@ class Executor(ABC):
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         """Apply ``fn`` to every item; results are in input order."""
 
+    def imap(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[R]:
+        """Yield results in input order as they become available.
+
+        Streaming counterpart of :meth:`map` — the caller observes result
+        ``i`` without waiting for results ``i+1..n`` (used by streamed
+        campaigns over the serve protocol).  The base implementation is
+        eager; backends override it with genuinely incremental versions.
+        Results are identical to :meth:`map` in value and order.
+        """
+        yield from self.map(fn, items)
+
     def _count(self, n_tasks: int) -> None:
         self.tasks_mapped += n_tasks
         self.batches_mapped += 1
@@ -110,6 +121,12 @@ class SerialExecutor(Executor):
         tasks = list(items)
         self._count(len(tasks))
         return [fn(item) for item in tasks]
+
+    def imap(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[R]:
+        tasks = list(items)
+        self._count(len(tasks))
+        for item in tasks:
+            yield fn(item)
 
 
 class ThreadExecutor(Executor):
@@ -150,6 +167,15 @@ class ThreadExecutor(Executor):
         # order, which keeps fit candidate lists (and campaign rows)
         # deterministic.
         return list(self._ensure_pool().map(fn, tasks))
+
+    def imap(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[R]:
+        tasks = list(items)
+        self._count(len(tasks))
+        if len(tasks) <= 1:
+            for item in tasks:
+                yield fn(item)
+            return
+        yield from self._ensure_pool().map(fn, tasks)
 
     def close(self) -> None:
         with self._pool_lock:
@@ -204,6 +230,39 @@ class ParallelExecutor(Executor):
                 stacklevel=2,
             )
             return [fn(item) for item in tasks]
+
+    def imap(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[R]:
+        """Stream results in submission order as workers finish them.
+
+        ``chunksize=1`` so the first result surfaces as soon as any worker
+        completes task 0 — the streaming path trades a little IPC overhead
+        for latency.  If the pool cannot be created or breaks mid-stream the
+        remaining tasks fall back to serial execution; already-yielded
+        results are never recomputed or duplicated.
+        """
+        tasks = list(items)
+        self._count(len(tasks))
+        if len(tasks) <= 1:
+            for item in tasks:
+                yield fn(item)
+            return
+        done = 0
+        try:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                for result in pool.map(fn, tasks, chunksize=1):
+                    done += 1
+                    yield result
+            return
+        except (OSError, BrokenProcessPool) as exc:
+            self.fell_back = True
+            warnings.warn(
+                f"ParallelExecutor could not use a process pool ({exc!r}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        for item in tasks[done:]:
+            yield fn(item)
 
 
 def parse_executor_spec(spec: str) -> tuple[str, int | None]:

@@ -1,0 +1,583 @@
+"""Multi-process serving: a supervisor and N forked prediction workers.
+
+``estima serve --workers N`` turns the single-process asyncio front-end into
+a pre-fork pool, the multi-core serving leg of the roadmap:
+
+* the **supervisor** owns the listening socket (TCP or unix) and nothing
+  else: it accepts connections and hands each one to a worker round-robin
+  over a unix socketpair (``SCM_RIGHTS`` fd passing), so a slow client never
+  occupies the supervisor;
+* each **worker** is a forked process running a full
+  :class:`~repro.engine.server.PredictionServer` — its own asyncio loop,
+  micro-batcher and prediction service.  All workers share the persistent
+  :class:`~repro.engine.store.DiskStore` tier through the filesystem (the
+  store's file locking makes concurrent writes and eviction safe), so one
+  worker's kernel fits warm-start every other worker;
+* the supervisor **health-checks** workers over a per-worker control pipe
+  (ping/pong plus liveness) and forks a replacement when one crashes;
+  accepted connections keep flowing to the survivors meanwhile;
+* :meth:`WorkerPool.stats` polls every worker for its server counters and
+  returns them per worker *and* merged (numeric leaves summed, ``max_*``
+  maxed), so the pool reports one coherent set of throughput/latency/cache
+  numbers.
+
+The protocol spoken on every connection is exactly the single-process one
+(NDJSON predict + streamed campaign ops); which mode serves a client is
+invisible to it.
+
+This module imports :mod:`repro.engine.server` only inside the worker entry
+point, so :class:`EstimaConfig` can import the parse helpers below without a
+cycle.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = [
+    "ENV_SERVE_WORKERS",
+    "parse_serve_workers",
+    "serve_workers_from_env",
+    "parse_tcp_address",
+    "WorkerPool",
+]
+
+#: Environment variable with the default worker count (0 = serve in-process).
+ENV_SERVE_WORKERS = "ESTIMA_SERVE_WORKERS"
+
+#: How long the supervisor waits for a worker's control reply (seconds).
+_CONTROL_TIMEOUT_S = 10.0
+
+
+def parse_serve_workers(value: object, *, source: str = "serve_workers") -> int:
+    """Parse a worker count strictly: a non-negative integer or a clear error.
+
+    Shared by ``EstimaConfig`` construction (``serve_workers`` field and the
+    ``ESTIMA_SERVE_WORKERS`` environment variable) and ``estima serve
+    --workers`` — same pattern as ``ESTIMA_EXECUTOR`` validation, so a
+    malformed value fails fast instead of deep inside the serving stack.
+    """
+    try:
+        workers = int(str(value).strip())
+    except ValueError:
+        raise ValueError(
+            f"invalid {source}={value!r}: expected a non-negative integer worker count"
+        ) from None
+    if workers < 0:
+        raise ValueError(f"invalid {source}={value!r}: worker count must be >= 0")
+    return workers
+
+
+def serve_workers_from_env(default: int = 0) -> int:
+    """The worker count configured via ``ESTIMA_SERVE_WORKERS`` (validated)."""
+    raw = os.environ.get(ENV_SERVE_WORKERS, "").strip()
+    if not raw:
+        return default
+    return parse_serve_workers(raw, source=ENV_SERVE_WORKERS)
+
+
+def parse_tcp_address(spec: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` TCP address strictly.
+
+    Returns ``(host, port)``; ``[v6::addr]:port`` brackets are accepted and
+    stripped.  Port 0 is allowed (the listener picks a free port).  Raises a
+    clear ``ValueError`` for anything malformed — consumed by
+    ``EstimaConfig`` construction (the ``serve_tcp`` field, i.e. ``estima
+    serve --tcp``) so bad addresses are rejected up front.
+    """
+    text = str(spec).strip()
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host or not port_text:
+        raise ValueError(f"invalid TCP address {spec!r}: expected HOST:PORT")
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+        if not host:
+            raise ValueError(f"invalid TCP address {spec!r}: empty host")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"invalid TCP address {spec!r}: port must be an integer"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"invalid TCP address {spec!r}: port must be in 0..65535")
+    return host, port
+
+
+#: Per-worker configuration values (not counters): first worker's value wins.
+_CONFIG_KEYS = frozenset({"max_batch", "batch_window_ms", "queue_limit"})
+
+
+def _merge_counters(total: dict[str, Any], part: Mapping[str, Any]) -> None:
+    """Merge one worker's stats into ``total``: sum numbers, max ``max_*``."""
+    for key, value in part.items():
+        if key in _CONFIG_KEYS:
+            total.setdefault(key, value)
+        elif isinstance(value, Mapping):
+            _merge_counters(total.setdefault(key, {}), value)
+        elif isinstance(value, bool):
+            total[key] = bool(total.get(key, False)) or value
+        elif isinstance(value, (int, float)):
+            if key.startswith("max_"):
+                total[key] = max(total.get(key, value), value)
+            else:
+                total[key] = total.get(key, 0) + value
+        else:
+            total.setdefault(key, value)
+
+
+def _merge_worker_stats(per_worker: "list[dict[str, Any] | None]") -> dict[str, Any]:
+    """One coherent stats document from N workers' snapshots.
+
+    Counters sum, ``max_*`` take the maximum, per-worker config values pass
+    through, and the derived means (which must not be summed) are recomputed
+    as weighted averages over their own denominators.
+    """
+    merged: dict[str, Any] = {}
+    for stats in per_worker:
+        if stats:
+            _merge_counters(merged, stats)
+    servers = [
+        stats["server"]
+        for stats in per_worker
+        if stats and isinstance(stats.get("server"), Mapping)
+    ]
+    if servers and isinstance(merged.get("server"), dict):
+        responses = sum(server.get("responses", 0) for server in servers)
+        batches = sum(server.get("batches", 0) for server in servers)
+        merged["server"]["mean_latency_ms"] = (
+            sum(s.get("mean_latency_ms", 0.0) * s.get("responses", 0) for s in servers)
+            / responses
+            if responses
+            else 0.0
+        )
+        merged["server"]["mean_batch_size"] = (
+            sum(s.get("mean_batch_size", 0.0) * s.get("batches", 0) for s in servers)
+            / batches
+            if batches
+            else 0.0
+        )
+    return merged
+
+
+@dataclass
+class _WorkerHandle:
+    """Supervisor-side bookkeeping for one live worker process."""
+
+    index: int
+    process: Any  # multiprocessing.Process
+    fd_channel: socket.socket  # supervisor end of the SCM_RIGHTS socketpair
+    control: Any  # multiprocessing.connection.Connection
+    control_lock: threading.Lock = field(default_factory=threading.Lock)
+    last_stats: dict[str, Any] | None = None
+    started_at: float = field(default_factory=time.monotonic)
+
+
+class WorkerPool:
+    """Supervise N forked :class:`PredictionServer` workers behind one socket.
+
+    Parameters
+    ----------
+    config:
+        The :class:`EstimaConfig` every worker serves with (workers fork
+        before serving, so they share nothing in memory — the persistent
+        disk tier named by ``config.cache_dir`` is their shared cache).
+    workers:
+        Number of worker processes (>= 1).
+    tcp / unix_socket:
+        Exactly one transport: a ``HOST:PORT`` string (or ``(host, port)``
+        tuple) for TCP, or a filesystem path for a unix listening socket.
+    max_batch / batch_window_ms / queue_limit:
+        Per-worker micro-batching knobs, forwarded to each worker's
+        :class:`~repro.engine.server.PredictionServer`.
+    health_interval_s:
+        How often the supervisor checks worker liveness and restarts
+        crashed workers.
+    """
+
+    def __init__(
+        self,
+        config: Any = None,
+        *,
+        workers: int,
+        tcp: "str | tuple[str, int] | None" = None,
+        unix_socket: "str | None" = None,
+        max_batch: int | None = None,
+        batch_window_ms: float | None = None,
+        queue_limit: int | None = None,
+        health_interval_s: float = 0.5,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if (tcp is None) == (unix_socket is None):
+            raise ValueError("exactly one of tcp / unix_socket is required")
+        if tcp is not None and not isinstance(tcp, tuple):
+            tcp = parse_tcp_address(tcp)
+        self.config = config
+        self.workers = workers
+        self.tcp = tcp
+        self.unix_socket = unix_socket
+        self.health_interval_s = health_interval_s
+        self.restarts = 0
+        self._serve_options = {
+            "max_batch": max_batch,
+            "batch_window_ms": batch_window_ms,
+            "queue_limit": queue_limit,
+        }
+        self._mp = multiprocessing.get_context("fork")
+        self._listener: socket.socket | None = None
+        self._address: tuple[str, int] | str | None = None
+        self._handles: list[_WorkerHandle] = []
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._rr = 0
+        self._accept_thread: threading.Thread | None = None
+        self._health_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> "tuple[str, int] | str":
+        """The bound address: ``(host, port)`` for TCP (after ephemeral-port
+        resolution), the socket path for unix."""
+        if self._address is None:
+            raise RuntimeError("pool is not started")
+        return self._address
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the current worker processes (diagnostics/tests)."""
+        with self._lock:
+            return [handle.process.pid for handle in self._handles]
+
+    def start(self) -> "WorkerPool":
+        """Bind the listener, fork the workers, start accept + health loops."""
+        if self._listener is not None:
+            raise RuntimeError("pool already started")
+        if self.tcp is not None:
+            host, port = self.tcp
+            self._listener = socket.create_server((host, port), backlog=128)
+            bound = self._listener.getsockname()
+            self._address = (bound[0], bound[1])
+        else:
+            path = Path(str(self.unix_socket))
+            if path.is_socket():
+                path.unlink()  # stale socket from a killed server
+            self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._listener.bind(str(path))
+            self._listener.listen(128)
+            self._address = str(path)
+        self._handles = []
+        for index in range(self.workers):
+            self._handles.append(self._spawn(index))
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="estima-serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._health_thread = threading.Thread(
+            target=self._health_loop, name="estima-serve-health", daemon=True
+        )
+        self._health_thread.start()
+        return self
+
+    def stop(self) -> dict[str, Any]:
+        """Stop accepting, drain and join the workers; returns final stats."""
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()  # unblocks the accept loop
+            except OSError:
+                pass
+        for thread in (self._accept_thread, self._health_thread):
+            if thread is not None:
+                thread.join(timeout=5)
+        with self._lock:
+            handles = list(self._handles)
+        per_worker: list[dict[str, Any] | None] = []
+        for handle in handles:
+            reply = self._request(handle, "stop")
+            if isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "stopped":
+                handle.last_stats = reply[1]
+            per_worker.append(handle.last_stats)
+            handle.process.join(timeout=5)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5)
+            self._close_handle(handle)
+        if self.unix_socket is not None:
+            try:
+                Path(str(self.unix_socket)).unlink()
+            except OSError:
+                pass
+        return {
+            "workers": self.workers,
+            "restarts": self.restarts,
+            "merged": _merge_worker_stats(per_worker),
+            "per_worker": per_worker,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Stats / health
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        """Per-worker and merged server counters (live poll over control pipes).
+
+        A worker that fails to answer contributes its last known snapshot, so
+        ``merged`` is always a lower bound during worker churn.
+        """
+        with self._lock:
+            handles = list(self._handles)
+        per_worker: list[dict[str, Any] | None] = []
+        for handle in handles:
+            reply = self._request(handle, "stats")
+            if isinstance(reply, dict):
+                handle.last_stats = reply
+            per_worker.append(handle.last_stats)
+        return {
+            "workers": self.workers,
+            "restarts": self.restarts,
+            "merged": _merge_worker_stats(per_worker),
+            "per_worker": per_worker,
+        }
+
+    def ping(self) -> list[bool]:
+        """Health-check every worker over its control pipe."""
+        with self._lock:
+            handles = list(self._handles)
+        return [self._request(handle, "ping") == ("pong", handle.index) for handle in handles]
+
+    # ------------------------------------------------------------------ #
+    # Internals (supervisor side)
+    # ------------------------------------------------------------------ #
+    def _spawn(self, index: int) -> _WorkerHandle:
+        parent_sock, child_sock = socket.socketpair()
+        parent_conn, child_conn = self._mp.Pipe()
+        # Forked children inherit every supervisor fd.  The child must not
+        # keep the listening socket (an orphaned worker would hold the port
+        # bound after a supervisor crash) or its siblings' channels (a dead
+        # sibling's socketpair would otherwise never read as closed).
+        inherited_fds = []
+        if self._listener is not None:
+            inherited_fds.append(self._listener.fileno())
+        for sibling in self._handles:
+            for channel in (sibling.fd_channel, sibling.control):
+                try:
+                    inherited_fds.append(channel.fileno())
+                except (OSError, ValueError):
+                    pass  # already closed (e.g. the crashed slot being replaced)
+        process = self._mp.Process(
+            target=_worker_main,
+            args=(index, child_sock, child_conn, self.config, self._serve_options,
+                  tuple(inherited_fds)),
+            name=f"estima-serve-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_sock.close()
+        child_conn.close()
+        return _WorkerHandle(
+            index=index, process=process, fd_channel=parent_sock, control=parent_conn
+        )
+
+    def _close_handle(self, handle: _WorkerHandle) -> None:
+        for closeable in (handle.fd_channel, handle.control):
+            try:
+                closeable.close()
+            except OSError:
+                pass
+
+    def _request(self, handle: _WorkerHandle, command: str) -> Any:
+        """Send one control command and wait for its reply (None on failure)."""
+        with handle.control_lock:
+            try:
+                handle.control.send(command)
+                if handle.control.poll(_CONTROL_TIMEOUT_S):
+                    return handle.control.recv()
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+        return None
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                break  # listener closed: shutting down
+            try:
+                # On success the worker holds its own duplicate of the fd; on
+                # failure (no live worker) closing makes the client see EOF.
+                self._dispatch(conn)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def _dispatch(self, conn: socket.socket) -> bool:
+        """Hand one accepted connection to a live worker (round-robin)."""
+        with self._lock:
+            handles = list(self._handles)
+            start = self._rr
+            self._rr = (self._rr + 1) % max(len(handles), 1)
+        for offset in range(len(handles)):
+            handle = handles[(start + offset) % len(handles)]
+            if not handle.process.is_alive():
+                continue
+            try:
+                socket.send_fds(handle.fd_channel, [b"c"], [conn.fileno()])
+                return True
+            except OSError:
+                continue  # worker died between the check and the send
+        return False
+
+    def _health_loop(self) -> None:
+        crash_streaks: dict[int, int] = {}
+        restart_not_before: dict[int, float] = {}
+        while not self._stopping.wait(self.health_interval_s):
+            with self._lock:
+                handles = list(self._handles)
+            for handle in handles:
+                if handle.process.is_alive() or self._stopping.is_set():
+                    continue
+                if time.monotonic() < restart_not_before.get(handle.index, 0.0):
+                    continue  # crash-looping slot: wait out the backoff
+                # Crashed (not stopped by us): fork a replacement in its slot.
+                uptime = time.monotonic() - handle.started_at
+                if uptime < 5.0:
+                    streak = crash_streaks.get(handle.index, 0) + 1
+                else:
+                    streak = 0
+                crash_streaks[handle.index] = streak
+                backoff = min(self.health_interval_s * (2 ** streak), 30.0)
+                restart_not_before[handle.index] = time.monotonic() + backoff
+                print(
+                    f"estima serve: worker {handle.index} (pid {handle.process.pid}) "
+                    f"died with exit code {handle.process.exitcode} after {uptime:.1f}s; "
+                    f"restarting"
+                    + (f" (crash streak {streak}, next retry backoff {backoff:.1f}s)"
+                       if streak else ""),
+                    file=sys.stderr,
+                    flush=True,
+                )
+                with self._lock:
+                    if self._handles[handle.index] is not handle:
+                        continue  # already replaced
+                    self._close_handle(handle)
+                    self._handles[handle.index] = self._spawn(handle.index)
+                    self.restarts += 1
+                handle.process.join(timeout=1)
+
+
+# --------------------------------------------------------------------------- #
+# Worker side (runs in forked child processes)
+# --------------------------------------------------------------------------- #
+
+
+def _worker_main(index, fd_channel, control, config, serve_options,
+                 inherited_fds=()):  # pragma: no cover
+    # Forked child: coverage and the parent's signal expectations do not
+    # apply here.  SIGINT belongs to the supervisor (workers are stopped over
+    # the control pipe), so ignore it to avoid double-handling a Ctrl-C that
+    # the terminal delivers to the whole process group.
+    import asyncio
+    import signal
+    import traceback
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    for fd in inherited_fds:
+        try:
+            os.close(fd)  # esp. the listening socket: see _spawn
+        except OSError:
+            pass
+    try:
+        asyncio.run(_worker_serve(index, fd_channel, control, config, serve_options))
+    except Exception:
+        # Leave a trace before dying: the supervisor only sees the exit code.
+        print(f"estima serve: worker {index} crashed:", file=sys.stderr, flush=True)
+        traceback.print_exc()
+        os._exit(1)  # supervisor's health loop forks a replacement
+
+
+async def _worker_serve(index, fd_channel, control, config, serve_options):  # pragma: no cover
+    import asyncio
+
+    from .server import PredictionServer
+
+    server = PredictionServer(config, **serve_options)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    send_lock = threading.Lock()
+    connections: set = set()
+
+    def adopt(fd: int) -> None:
+        sock = socket.socket(fileno=fd)
+
+        async def serve_connection() -> None:
+            try:
+                reader, writer = await asyncio.open_connection(sock=sock)
+            except OSError:
+                sock.close()
+                return
+            await server.handle_stream(reader, writer)
+
+        task = loop.create_task(serve_connection())
+        connections.add(task)
+        task.add_done_callback(connections.discard)
+
+    def receive_fds() -> None:  # thread: blocking SCM_RIGHTS reads
+        while True:
+            try:
+                msg, fds, _flags, _addr = socket.recv_fds(fd_channel, 1, 1)
+            except OSError:
+                break
+            if not msg and not fds:
+                break  # supervisor closed its end
+            for fd in fds:
+                loop.call_soon_threadsafe(adopt, fd)
+        loop.call_soon_threadsafe(stop.set)
+
+    def control_commands() -> None:  # thread: blocking pipe reads
+        while True:
+            try:
+                command = control.recv()
+            except (EOFError, OSError):
+                break
+            if command == "ping":
+                with send_lock:
+                    control.send(("pong", index))
+            elif command == "stats":
+                with send_lock:
+                    control.send(server.stats())
+            elif command == "stop":
+                break
+        loop.call_soon_threadsafe(stop.set)
+
+    threading.Thread(target=receive_fds, daemon=True).start()
+    threading.Thread(target=control_commands, daemon=True).start()
+
+    await stop.wait()
+    try:
+        fd_channel.close()  # unblock the receiver thread
+    except OSError:
+        pass
+    if connections:  # drain in-flight connections before reporting stats
+        await asyncio.gather(*connections, return_exceptions=True)
+    final = server.stats()
+    await server.stop()
+    with send_lock:
+        try:
+            control.send(("stopped", final))
+        except (OSError, BrokenPipeError):
+            pass
+    # Give the supervisor a beat to read the pipe before the process exits.
+    time.sleep(0.05)

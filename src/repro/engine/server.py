@@ -8,20 +8,43 @@ the service's content-addressed dedup (and, when enabled, the tiered
 fit/extrapolation caches underneath it) applies *across clients*, not only
 within one call.
 
-Protocol (newline-delimited JSON, one object per line in both directions):
+Protocol (newline-delimited JSON, one object per line in both directions).
+A request's ``"op"`` selects the operation; it defaults to ``"predict"``:
 
-request::
+predict request::
 
     {"id": 7, "target_cores": 48, "baseline": false,
      "measurements": {... MeasurementSet.to_dict() ...},   # or:
      "workload": "intruder", "machine": "opteron48", "measure_cores": 12,
      "config": {"checkpoints": 2, "use_software_stalls": true, ...}}
 
-response::
+predict response::
 
     {"id": 7, "ok": true, "result": {... same schema as `estima predict
      --json`: repro.runner.io.prediction_payload ...}}
     {"id": 7, "ok": false, "error": "..."}                 # on bad requests
+
+campaign request (a Table-4 style run, streamed row by row)::
+
+    {"id": 8, "op": "campaign", "machine": "xeon20", "measure_cores": 10,
+     "targets": {"half": 16, "full": 20},                  # label -> cores
+     "workloads": ["genome", "blackscholes"],              # default: Table 4
+     "core_counts": [1, 2, 4, 8, 16, 20],                  # optional sweep
+     "executor": "threads:4",                              # optional backend
+     "config": {...}}                                      # numeric knobs
+
+campaign responses — one line per finished (workload x targets) row, in
+campaign order, then a final summary line::
+
+    {"id": 8, "ok": true, "op": "campaign", "row": {... one element of
+     `estima campaign --json`'s "rows", bit-identical to batch output ...}}
+    {"id": 8, "ok": true, "op": "campaign", "done": true, "rows": 2,
+     "summary": {... repro.runner.io.campaign_result_payload ...}}
+
+Responses are written in request order per connection (requests are still
+*dispatched* concurrently, so they coalesce in the micro-batcher): clients
+never observe dropped, duplicated or reordered responses, and a streamed
+campaign's rows appear contiguously at that request's position.
 
 Micro-batching: the batcher waits up to ``batch_window_ms`` after the first
 queued request for more to arrive, up to ``max_batch`` per
@@ -34,6 +57,12 @@ requests and shared cache warm-up, never different numbers.
 Backpressure: requests park in a bounded queue; when it is full, new
 submissions (and therefore connection reads) block until the batcher drains —
 a slow pipeline slows clients down instead of growing memory without bound.
+
+Transports: stdio (:func:`serve_stdio`), unix socket (:func:`serve_unix`) and
+TCP (:func:`serve_tcp`, ``estima serve --tcp HOST:PORT``) all speak this
+protocol through :meth:`PredictionServer.handle_stream`; the
+:class:`~repro.engine.pool.WorkerPool` supervisor puts N forked copies of
+this server behind one listening socket.
 """
 
 from __future__ import annotations
@@ -41,17 +70,27 @@ from __future__ import annotations
 import asyncio
 import json
 import sys
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Awaitable, Callable, Mapping
 
 from repro.core.config import EstimaConfig
 from repro.core.measurement import MeasurementSet
 
 from .service import PredictionRequest, PredictionService
 
-__all__ = ["ServerMetrics", "PredictionServer", "parse_request", "serve_stdio", "serve_unix"]
+__all__ = [
+    "ServerMetrics",
+    "PredictionServer",
+    "parse_request",
+    "parse_campaign_request",
+    "serve_stdio",
+    "serve_unix",
+    "serve_tcp",
+]
 
 #: ``config`` keys a request may override (numerics-affecting knobs only;
 #: engine knobs stay under server control).
@@ -71,6 +110,29 @@ class RequestError(ValueError):
     """A malformed prediction request (reported to the client, not fatal)."""
 
 
+class _CampaignAbandoned(Exception):
+    """Raised inside a campaign thread to stop a run whose client is gone."""
+
+
+def _config_with_overrides(payload: Mapping[str, Any], base_config: EstimaConfig) -> EstimaConfig:
+    """Apply a request's ``config`` overrides (numeric knobs only) strictly."""
+    overrides = payload.get("config") or {}
+    if not overrides:
+        return base_config
+    if not isinstance(overrides, Mapping):
+        raise RequestError("'config' must be a JSON object")
+    unknown = set(overrides) - set(_REQUEST_CONFIG_FIELDS)
+    if unknown:
+        raise RequestError(f"unsupported config overrides: {sorted(unknown)}")
+    changes = dict(overrides)
+    if "kernel_names" in changes:
+        changes["kernel_names"] = tuple(changes["kernel_names"])
+    try:
+        return base_config.with_(**changes)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RequestError(f"invalid config overrides: {exc}") from None
+
+
 def parse_request(payload: Mapping[str, Any], base_config: EstimaConfig) -> PredictionRequest:
     """Validate one JSON request and build the service-layer request.
 
@@ -88,21 +150,7 @@ def parse_request(payload: Mapping[str, Any], base_config: EstimaConfig) -> Pred
     except (TypeError, ValueError):
         raise RequestError(f"invalid 'target_cores': {payload.get('target_cores')!r}") from None
 
-    config = base_config
-    overrides = payload.get("config") or {}
-    if overrides:
-        if not isinstance(overrides, Mapping):
-            raise RequestError("'config' must be a JSON object")
-        unknown = set(overrides) - set(_REQUEST_CONFIG_FIELDS)
-        if unknown:
-            raise RequestError(f"unsupported config overrides: {sorted(unknown)}")
-        changes = dict(overrides)
-        if "kernel_names" in changes:
-            changes["kernel_names"] = tuple(changes["kernel_names"])
-        try:
-            config = base_config.with_(**changes)
-        except (KeyError, TypeError, ValueError) as exc:
-            raise RequestError(f"invalid config overrides: {exc}") from None
+    config = _config_with_overrides(payload, base_config)
 
     if "measurements" in payload:
         try:
@@ -156,6 +204,95 @@ def _simulate(workload: str, machine: str, measure_cores: Any) -> MeasurementSet
     )
 
 
+def parse_campaign_request(
+    payload: Mapping[str, Any], base_config: EstimaConfig
+) -> tuple[Any, tuple[str, ...]]:
+    """Validate one ``{"op": "campaign"}`` request.
+
+    Returns ``(campaign, workload_names)`` where ``campaign`` is a ready
+    :class:`~repro.runner.campaign.ErrorCampaign` — the exact object the CLI
+    builds for ``estima campaign``, so streamed rows are the batch rows.
+    Unlike predict requests, a campaign may name its ``executor`` backend:
+    backends change wall time, never numbers (pinned by tests).
+    """
+    # Imported lazily like _simulate: keeps `import repro.engine` free of an
+    # eager engine -> runner/workloads edge.
+    from repro.machine.machines import get_machine
+    from repro.runner.campaign import ErrorCampaign
+    from repro.workloads.registry import TABLE4_WORKLOADS, WORKLOADS
+
+    if not isinstance(payload, Mapping):
+        raise RequestError("request must be a JSON object")
+    machine_name = payload.get("machine")
+    if not machine_name:
+        raise RequestError("campaign request needs 'machine'")
+    try:
+        machine = get_machine(str(machine_name))
+    except KeyError as exc:
+        raise RequestError(str(exc)) from None
+    try:
+        measure_cores = int(payload["measure_cores"])
+    except KeyError:
+        raise RequestError("campaign request needs 'measure_cores'") from None
+    except (TypeError, ValueError):
+        raise RequestError(
+            f"invalid 'measure_cores': {payload.get('measure_cores')!r}"
+        ) from None
+    targets_raw = payload.get("targets")
+    if not isinstance(targets_raw, Mapping) or not targets_raw:
+        raise RequestError(
+            "campaign request needs 'targets': a non-empty object of label -> target cores"
+        )
+    try:
+        targets = {str(label): int(cores) for label, cores in targets_raw.items()}
+    except (TypeError, ValueError):
+        raise RequestError(f"invalid 'targets': {targets_raw!r}") from None
+
+    workloads_raw = payload.get("workloads")
+    if workloads_raw is None:
+        workloads = tuple(TABLE4_WORKLOADS)
+    else:
+        if isinstance(workloads_raw, str):
+            workloads = tuple(w.strip() for w in workloads_raw.split(",") if w.strip())
+        elif isinstance(workloads_raw, (list, tuple)):
+            workloads = tuple(str(w) for w in workloads_raw)
+        else:
+            raise RequestError("'workloads' must be a list of names or a comma-separated string")
+        if not workloads:
+            raise RequestError("campaign request needs at least one workload")
+        unknown = [w for w in workloads if w not in WORKLOADS]
+        if unknown:
+            raise RequestError(f"unknown workloads: {', '.join(unknown)}")
+
+    core_counts = payload.get("core_counts")
+    if core_counts is not None:
+        try:
+            core_counts = [int(c) for c in core_counts]
+        except (TypeError, ValueError):
+            raise RequestError(f"invalid 'core_counts': {payload.get('core_counts')!r}") from None
+
+    executor = payload.get("executor")
+    if executor is not None:
+        from .executor import parse_executor_spec
+
+        executor = str(executor)
+        try:
+            parse_executor_spec(executor)
+        except ValueError as exc:
+            raise RequestError(str(exc)) from None
+
+    config = _config_with_overrides(payload, base_config)
+    campaign = ErrorCampaign(
+        machine=machine,
+        measurement_cores=measure_cores,
+        targets=targets,
+        config=config,
+        core_counts=core_counts,
+        executor=executor,
+    )
+    return campaign, workloads
+
+
 def result_payload(prediction: Any) -> dict:
     """The response document for one prediction (shared CLI/server schema)."""
     from repro.core.result import ScalabilityPrediction
@@ -176,6 +313,8 @@ class ServerMetrics:
     batches: int = 0
     batched_requests: int = 0
     max_batch_size: int = 0
+    campaigns: int = 0
+    campaign_rows: int = 0
     total_latency_s: float = 0.0
     max_latency_s: float = 0.0
     started_at: float = field(default_factory=time.perf_counter)
@@ -199,6 +338,8 @@ class ServerMetrics:
             "batches": self.batches,
             "mean_batch_size": (self.batched_requests / self.batches) if self.batches else 0.0,
             "max_batch_size": self.max_batch_size,
+            "campaigns": self.campaigns,
+            "campaign_rows": self.campaign_rows,
             "throughput_rps": self.responses / elapsed,
             "mean_latency_ms": (
                 1000.0 * self.total_latency_s / self.responses if self.responses else 0.0
@@ -214,6 +355,35 @@ class _Pending:
     request: PredictionRequest
     future: "asyncio.Future[Any]"
     enqueued_at: float
+
+
+class _OrderedResponseWriter:
+    """Serialise one connection's response lines in request order.
+
+    Each request owns one *slot* (its arrival sequence number).  Slot ``seq``
+    may write any number of lines — a predict writes one, a streamed campaign
+    writes a row line per result plus the summary — and :meth:`finish` hands
+    the stream to slot ``seq + 1``.  Requests still *execute* concurrently;
+    only the writes are ordered, so micro-batching across a connection's
+    requests is preserved while clients see strict FIFO responses.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        self._next = 0
+        self._cond = asyncio.Condition()
+
+    async def write(self, seq: int, document: Mapping[str, Any]) -> None:
+        async with self._cond:
+            await self._cond.wait_for(lambda: self._next == seq)
+            self._writer.write(json.dumps(document).encode() + b"\n")
+            await self._writer.drain()
+
+    async def finish(self, seq: int) -> None:
+        async with self._cond:
+            await self._cond.wait_for(lambda: self._next == seq)
+            self._next = seq + 1
+            self._cond.notify_all()
 
 
 class PredictionServer:
@@ -251,6 +421,7 @@ class PredictionServer:
         self.metrics = ServerMetrics()
         self._queue: "asyncio.Queue[_Pending] | None" = None
         self._batcher: "asyncio.Task[None] | None" = None
+        self._campaign_pool: ThreadPoolExecutor | None = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -277,6 +448,25 @@ class PredictionServer:
                 if not pending.future.done():
                     pending.future.set_exception(RuntimeError("server shutting down"))
             self._queue = None
+        if self._campaign_pool is not None:
+            # Queued (not yet started) campaigns are dropped; running ones
+            # finish in the background rather than blocking shutdown.
+            self._campaign_pool.shutdown(wait=False, cancel_futures=True)
+            self._campaign_pool = None
+
+    def _campaign_executor(self) -> ThreadPoolExecutor:
+        """The dedicated pool campaign requests run on (created lazily).
+
+        Separate from the event loop's default executor on purpose: the
+        micro-batcher and request parsing run there, and minutes-long
+        campaigns sharing that pool would starve every predict request.
+        Campaigns beyond the pool size queue behind each other instead.
+        """
+        if self._campaign_pool is None:
+            self._campaign_pool = ThreadPoolExecutor(
+                max_workers=4, thread_name_prefix="estima-campaign"
+            )
+        return self._campaign_pool
 
     def stats(self) -> dict[str, object]:
         """Throughput/latency counters plus the service's per-tier cache stats."""
@@ -323,43 +513,166 @@ class PredictionServer:
         self.metrics.record_latency(time.perf_counter() - pending.enqueued_at)
         return {"id": request_id, "ok": True, "result": result_payload(prediction)}
 
+    async def submit_campaign(
+        self,
+        payload: Mapping[str, Any],
+        *,
+        on_row: "Callable[[dict[str, Any]], Awaitable[None]] | None" = None,
+    ) -> dict[str, Any]:
+        """Serve one streamed ``campaign`` request.
+
+        The campaign runs in the server's dedicated campaign thread pool
+        (never the event loop's default executor, which the micro-batcher
+        needs — long campaigns must not starve predict traffic); every
+        finished row is pushed back to the event loop and awaited through
+        ``on_row`` as a progress document (``{"id": ..., "ok": true, "op":
+        "campaign", "row": ...}``) in campaign order.  Returns the final
+        summary response.  Row payloads are built by
+        :func:`repro.runner.io.campaign_row_payload` — the same helper
+        ``estima campaign --json`` uses — so streamed rows are bit-identical
+        to batch output (pinned by tests).  If the client disconnects
+        mid-stream the campaign is abandoned at the next row boundary
+        instead of burning CPU to completion.
+        """
+        await self.start()
+        request_id = payload.get("id") if isinstance(payload, Mapping) else None
+        self.metrics.requests += 1
+        loop = asyncio.get_running_loop()
+        try:
+            campaign, workloads = await loop.run_in_executor(
+                None, parse_campaign_request, payload, self.config
+            )
+        except RequestError as exc:
+            self.metrics.errors += 1
+            return {"id": request_id, "ok": False, "error": str(exc)}
+        self.metrics.campaigns += 1
+        started = time.perf_counter()
+        queue: "asyncio.Queue[tuple[str, Any]]" = asyncio.Queue()
+        abandoned = threading.Event()
+
+        def run_campaign() -> None:
+            from repro.runner.io import campaign_row_payload
+
+            def post_row(row: Any) -> None:
+                if abandoned.is_set():
+                    raise _CampaignAbandoned()
+                loop.call_soon_threadsafe(
+                    queue.put_nowait, ("row", campaign_row_payload(row))
+                )
+
+            try:
+                result = campaign.run(workloads, on_row=post_row)
+            except _CampaignAbandoned:
+                loop.call_soon_threadsafe(queue.put_nowait, ("abandoned", None))
+            except Exception as exc:  # reported per request, never fatal
+                loop.call_soon_threadsafe(queue.put_nowait, ("error", exc))
+            else:
+                loop.call_soon_threadsafe(queue.put_nowait, ("done", result))
+
+        worker = loop.run_in_executor(self._campaign_executor(), run_campaign)
+        rows_emitted = 0
+        try:
+            while True:
+                kind, value = await queue.get()
+                if kind == "row":
+                    rows_emitted += 1
+                    self.metrics.campaign_rows += 1
+                    if on_row is not None and not abandoned.is_set():
+                        try:
+                            await on_row(
+                                {"id": request_id, "ok": True, "op": "campaign", "row": value}
+                            )
+                        except (ConnectionResetError, BrokenPipeError):
+                            # Client is gone: stop the campaign at the next
+                            # row boundary, then drain to its final message.
+                            abandoned.set()
+                elif kind == "abandoned":
+                    self.metrics.errors += 1
+                    return {
+                        "id": request_id,
+                        "ok": False,
+                        "error": "campaign abandoned: client disconnected",
+                    }
+                elif kind == "error":
+                    self.metrics.errors += 1
+                    return {
+                        "id": request_id,
+                        "ok": False,
+                        "error": f"campaign failed: {value}",
+                    }
+                else:  # done
+                    result = value
+                    break
+        finally:
+            await worker
+        from repro.runner.io import campaign_result_payload
+
+        summary = campaign_result_payload(result)
+        summary["engine"] = result.engine_stats
+        self.metrics.record_latency(time.perf_counter() - started)
+        return {
+            "id": request_id,
+            "ok": True,
+            "op": "campaign",
+            "done": True,
+            "rows": rows_emitted,
+            "summary": summary,
+        }
+
     async def handle_stream(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         """Serve one NDJSON client connection until EOF.
 
         Lines are dispatched concurrently, so one connection still benefits
-        from micro-batching; responses carry the request ``id`` for
-        correlation (they may arrive out of order).
+        from micro-batching, but responses are *written* in request order:
+        a client never observes dropped, duplicated or reordered responses,
+        and a streamed campaign's row lines appear contiguously at that
+        request's position (pinned by the concurrency stress test).
         """
         await self.start()
         tasks: set[asyncio.Task] = set()
-        write_lock = asyncio.Lock()
+        responses = _OrderedResponseWriter(writer)
         # Cap the per-connection in-flight work: without it a fast client
         # could have the read loop spawn a task (holding its parsed payload)
         # for every line long before the batcher drains any of them, and the
         # bounded queue's backpressure would never reach the client.
         in_flight = asyncio.Semaphore(self.queue_limit)
 
-        async def respond(line: bytes) -> None:
+        async def respond(seq: int, line: bytes) -> None:
             try:
                 try:
                     payload = json.loads(line)
                 except json.JSONDecodeError as exc:
                     self.metrics.requests += 1
                     self.metrics.errors += 1
-                    response: dict[str, Any] = {
-                        "id": None, "ok": False, "error": f"bad JSON: {exc}"
-                    }
+                    await responses.write(
+                        seq, {"id": None, "ok": False, "error": f"bad JSON: {exc}"}
+                    )
+                    return
+                op = payload.get("op", "predict") if isinstance(payload, Mapping) else "predict"
+                if op == "campaign":
+                    final = await self.submit_campaign(
+                        payload, on_row=lambda doc: responses.write(seq, doc)
+                    )
+                    await responses.write(seq, final)
+                elif op == "predict":
+                    await responses.write(seq, await self.submit(payload))
                 else:
-                    response = await self.submit(payload)
-                async with write_lock:
-                    writer.write(json.dumps(response).encode() + b"\n")
-                    await writer.drain()
+                    self.metrics.requests += 1
+                    self.metrics.errors += 1
+                    await responses.write(
+                        seq,
+                        {"id": payload.get("id"), "ok": False, "error": f"unknown op: {op!r}"},
+                    )
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # client went away mid-response; reader sees EOF next
             finally:
+                await responses.finish(seq)
                 in_flight.release()
 
         try:
+            seq = 0
             while True:
                 line = await reader.readline()
                 if not line:
@@ -367,7 +680,8 @@ class PredictionServer:
                 if not line.strip():
                     continue
                 await in_flight.acquire()  # stops reading when saturated
-                task = asyncio.get_running_loop().create_task(respond(line))
+                task = asyncio.get_running_loop().create_task(respond(seq, line))
+                seq += 1
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
             if tasks:
@@ -456,8 +770,34 @@ async def serve_unix(server: PredictionServer, socket_path: str) -> None:
             pass
 
 
-async def serve_stdio(server: PredictionServer) -> None:
-    """Serve NDJSON requests on stdin/stdout until EOF."""
+async def serve_tcp(
+    server: PredictionServer,
+    host: str,
+    port: int,
+    *,
+    on_listening: "Callable[[tuple[str, int]], None] | None" = None,
+) -> None:
+    """Serve NDJSON connections on a TCP listener until cancelled.
+
+    ``port`` 0 binds an ephemeral port; ``on_listening`` receives the actual
+    ``(host, port)`` once the socket is bound (the CLI announces it, tests
+    connect to it).
+    """
+    await server.start()
+    tcp_server = await asyncio.start_server(server.handle_stream, host=host, port=port)
+    if on_listening is not None:
+        bound = tcp_server.sockets[0].getsockname()
+        on_listening((bound[0], bound[1]))
+    async with tcp_server:
+        await tcp_server.serve_forever()
+
+
+async def serve_stdio(server: PredictionServer) -> None:  # pragma: no cover
+    """Serve NDJSON requests on stdin/stdout until EOF.
+
+    Exercised end-to-end by the CLI subprocess test; as subprocess-only code
+    it never appears in in-process coverage data.
+    """
     loop = asyncio.get_running_loop()
     reader = asyncio.StreamReader()
     await loop.connect_read_pipe(

@@ -88,7 +88,10 @@ class PredictionService:
         cache is enabled, the service attaches one shared
         :class:`~repro.engine.store.DiskStore` to its own prediction region
         and to the global fit/extrapolation regions, so a restarted service
-        (or a different process) starts warm.
+        (or a different process) starts warm.  This is also how the
+        ``estima serve`` worker pool shares work: every forked worker's
+        service attaches the same directory, and the store's file-locked
+        eviction keeps their concurrent writes within one byte budget.
     """
 
     def __init__(

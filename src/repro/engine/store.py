@@ -13,6 +13,13 @@ persistent tier underneath them:
 * the store is **size-bounded**: once the configured byte budget is
   exceeded, least-recently-used entries are evicted (reads refresh an
   entry's recency);
+* eviction is **multi-process safe**: recency is published through file
+  mtimes, and writers keep a shared byte ledger in ``<root>/.lock`` under an
+  advisory ``flock`` — every put updates the ledger in O(1), and only when
+  the ledger crosses the budget (or is missing/corrupt) does the writer
+  rescan the directory and evict, so several processes (e.g. the ``estima
+  serve`` worker pool) writing the same cache dir concurrently neither
+  corrupt entries nor exceed the byte budget once they settle;
 * entries are **schema-versioned**: a payload whose embedded version does
   not match :data:`SCHEMA_VERSION` is ignored as a miss, so stale formats
   from older code are never deserialised into current objects.
@@ -20,6 +27,7 @@ persistent tier underneath them:
 Layout under the store root (one subdirectory per cache region)::
 
     <root>/
+      .lock
       fit/ab/abcdef....entry
       extrapolation/12/1234....entry
       service/...
@@ -41,9 +49,16 @@ import os
 import pickle
 import tempfile
 import threading
-from dataclasses import dataclass, field
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
+
+try:  # POSIX advisory locks; on platforms without fcntl the store still
+    import fcntl  # works, it just loses cross-process eviction coordination.
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -67,6 +82,7 @@ ENV_CACHE_DIR = "ESTIMA_CACHE_DIR"
 ENV_CACHE_MAX_BYTES = "ESTIMA_CACHE_MAX_BYTES"
 
 _ENTRY_SUFFIX = ".entry"
+_LOCK_NAME = ".lock"
 
 _MISS = object()
 
@@ -94,7 +110,7 @@ class StoreStats:
 @dataclass
 class _Entry:
     size: int
-    last_used: int  # monotonically increasing access stamp (process-local)
+    last_used: float  # wall-clock access stamp; published to peers via mtime
 
 
 class DiskStore:
@@ -102,8 +118,11 @@ class DiskStore:
 
     One store serves several regions (``fit``, ``extrapolation``, ...), each
     in its own subdirectory; the eviction budget spans all of them.  All
-    methods are thread-safe; cross-process safety comes from atomic renames
-    and from treating every unreadable file as a miss.
+    methods are thread-safe.  Cross-process safety comes from three pieces:
+    atomic renames (readers never see a torn entry), treating every
+    unreadable file as a miss, and an advisory file lock around the
+    rescan-then-evict step so concurrent writers converge on the shared
+    byte budget instead of each enforcing it against a stale local view.
     """
 
     def __init__(self, root: str | Path, *, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
@@ -115,7 +134,7 @@ class DiskStore:
         self._lock = threading.Lock()
         self._index: dict[Path, _Entry] = {}
         self._total_bytes = 0
-        self._clock = 0
+        self._last_stamp = 0.0
         self._scanned = False
 
     # ------------------------------------------------------------------ #
@@ -179,28 +198,64 @@ class DiskStore:
         with self._lock:
             self._ensure_scanned()
             previous = self._index.get(path)
+            delta = len(blob) - (previous.size if previous is not None else 0)
             if previous is not None:
                 self._total_bytes -= previous.size
-            self._clock += 1
-            self._index[path] = _Entry(size=len(blob), last_used=self._clock)
+            self._index[path] = _Entry(size=len(blob), last_used=self._stamp())
             self._total_bytes += len(blob)
             self.stats.writes += 1
-            self._evict_locked()
+        # Enforce the budget against the *directory*, not only the local
+        # index: other processes may have written entries this process never
+        # saw.  A full rescan per put would be O(entries), so writers share a
+        # byte ledger in the lock file instead — O(1) per put — and rescan
+        # only when the ledger says the budget is exceeded (or is missing).
+        # Concurrent-overwrite drift in the ledger is tolerated: the next
+        # over-budget rescan rewrites it from the actual directory state.
+        with self._file_lock() as ledger:
+            with self._lock:
+                if ledger is None:
+                    # No cross-process lock available: fall back to the
+                    # rescan so the budget still holds.
+                    self._refresh_locked()
+                    self._evict_locked()
+                else:
+                    shared = self._read_ledger(ledger)
+                    total = shared + delta if shared is not None else None
+                    if total is None or total > self.max_bytes:
+                        self._refresh_locked()
+                        self._evict_locked()
+                        total = self._total_bytes
+                    self._write_ledger(ledger, total)
         return True
 
     # ------------------------------------------------------------------ #
     # Maintenance / introspection
     # ------------------------------------------------------------------ #
+    def refresh(self) -> None:
+        """Re-synchronise the in-memory index with the directory contents."""
+        with self._file_lock() as ledger:
+            with self._lock:
+                self._refresh_locked()
+                if ledger is not None:
+                    self._write_ledger(ledger, self._total_bytes)
+
     def clear(self, region: str | None = None) -> int:
-        """Delete all entries (or one region's); returns the number removed."""
-        with self._lock:
-            self._ensure_scanned()
-            roots = (self.root / region,) if region else (self.root,)
-            removed = 0
-            for path in list(self._index):
-                if any(root == path or root in path.parents for root in roots):
-                    removed += self._remove_locked(path, count_eviction=False)
-            return removed
+        """Delete all entries (or one region's); returns the number removed.
+
+        Clears what is actually on disk — including entries written by other
+        processes that this instance has never looked at.
+        """
+        with self._file_lock() as ledger:
+            with self._lock:
+                self._refresh_locked()
+                roots = (self.root / region,) if region else (self.root,)
+                removed = 0
+                for path in list(self._index):
+                    if any(root == path or root in path.parents for root in roots):
+                        removed += self._remove_locked(path, count_eviction=False)
+                if ledger is not None:
+                    self._write_ledger(ledger, self._total_bytes)
+                return removed
 
     def entry_count(self, region: str | None = None) -> int:
         with self._lock:
@@ -228,7 +283,9 @@ class DiskStore:
             return summary
 
     def describe(self) -> dict[str, object]:
-        """One JSON-friendly summary of the store's state."""
+        """One JSON-friendly summary of the store's state (rescans first, so
+        entries written by other processes are included)."""
+        self.refresh()
         return {
             "root": str(self.root),
             "max_bytes": self.max_bytes,
@@ -259,27 +316,108 @@ class DiskStore:
             return _MISS
         return payload.get("value")
 
+    def _stamp(self) -> float:
+        """A strictly increasing wall-clock stamp (ties broken locally)."""
+        self._last_stamp = max(time.time(), self._last_stamp + 1e-6)
+        return self._last_stamp
+
+    @contextmanager
+    def _file_lock(self) -> "Iterator[Any | None]":
+        """Advisory exclusive lock on ``<root>/.lock`` (best effort).
+
+        Yields the open lock-file handle (the shared byte ledger lives in
+        it) or ``None`` when locking is unavailable.  Serialises ledger
+        updates and the rescan-then-evict step across processes.
+        Filesystems without ``flock`` support degrade to uncoordinated
+        eviction, which is still safe (atomic writes, unlink tolerates
+        ENOENT) — the budget just becomes approximate.
+        """
+        handle = None
+        if fcntl is not None:
+            try:
+                self.root.mkdir(parents=True, exist_ok=True)
+                # O_RDWR (not append) so the ledger can be rewritten in place.
+                fd = os.open(self.root / _LOCK_NAME, os.O_RDWR | os.O_CREAT, 0o644)
+                handle = os.fdopen(fd, "r+b")
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            except OSError:
+                if handle is not None:
+                    handle.close()
+                    handle = None
+        try:
+            yield handle
+        finally:
+            if handle is not None:
+                handle.close()  # closing the descriptor releases the flock
+
+    @staticmethod
+    def _read_ledger(handle: Any) -> int | None:
+        """The shared byte total recorded in the lock file (None = unknown)."""
+        try:
+            handle.seek(0)
+            data = handle.read(32)
+        except OSError:
+            return None
+        if not data:
+            return None
+        try:
+            return int(data.split()[0])
+        except (ValueError, IndexError):
+            return None
+
+    @staticmethod
+    def _write_ledger(handle: Any, total: int) -> None:
+        try:
+            handle.seek(0)
+            handle.truncate()
+            handle.write(str(max(int(total), 0)).encode())
+            handle.flush()
+        except OSError:
+            pass  # ledger is advisory; the next rescan restores it
+
     def _ensure_scanned(self) -> None:
         """Build the in-memory index from the directory tree (lock held)."""
         if self._scanned:
             return
         self._scanned = True
-        if not self.root.is_dir():
-            return
-        for path in sorted(self.root.rglob(f"*{_ENTRY_SUFFIX}")):
-            try:
-                size = path.stat().st_size
-            except OSError:
-                continue
-            self._clock += 1
-            self._index[path] = _Entry(size=size, last_used=self._clock)
-            self._total_bytes += size
+        self._refresh_locked()
+
+    def _refresh_locked(self) -> None:
+        """Re-read sizes and recency (mtimes) from the directory (lock held).
+
+        Entries this process wrote keep their local (at least as fresh)
+        stamp; entries other processes created or touched take their mtime.
+        """
+        self._scanned = True
+        seen: set[Path] = set()
+        total = 0
+        if self.root.is_dir():
+            for path in self.root.rglob(f"*{_ENTRY_SUFFIX}"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue  # concurrently evicted by another process
+                seen.add(path)
+                entry = self._index.get(path)
+                if entry is None:
+                    self._index[path] = _Entry(size=stat.st_size, last_used=stat.st_mtime)
+                else:
+                    entry.size = stat.st_size
+                    entry.last_used = max(entry.last_used, stat.st_mtime)
+                total += stat.st_size
+        for path in list(self._index):
+            if path not in seen:
+                del self._index[path]
+        self._total_bytes = total
 
     def _touch(self, path: Path) -> None:
         entry = self._index.get(path)
         if entry is not None:
-            self._clock += 1
-            entry.last_used = self._clock
+            entry.last_used = self._stamp()
+            try:
+                os.utime(path)  # publish recency to other processes
+            except OSError:
+                pass
 
     def _evict_locked(self) -> None:
         while self._total_bytes > self.max_bytes and len(self._index) > 1:

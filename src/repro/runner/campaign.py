@@ -17,8 +17,9 @@ identical rows by the test suite.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -211,8 +212,21 @@ class ErrorCampaign:
     core_counts: Sequence[int] | None = None
     executor: Executor | str | None = None
 
-    def run(self, workload_names: Iterable[str] | None = None) -> CampaignResult:
-        """Run the campaign; returns one row per workload (in input order)."""
+    def run(
+        self,
+        workload_names: Iterable[str] | None = None,
+        *,
+        on_row: Callable[[CampaignRow], None] | None = None,
+    ) -> CampaignResult:
+        """Run the campaign; returns one row per workload (in input order).
+
+        ``on_row`` streams progress: it is invoked with each finished
+        :class:`CampaignRow` as soon as it completes, always in input order
+        (the serve protocol's ``campaign`` op emits one NDJSON line per
+        callback).  The returned result is identical with or without a
+        callback — streaming changes when rows become visible, never their
+        values.
+        """
         names = tuple(workload_names) if workload_names is not None else TABLE4_WORKLOADS
         tasks = [
             _CampaignTask(
@@ -227,10 +241,11 @@ class ErrorCampaign:
             for name in names
         ]
         executor = executor_for_config(self.config, self.executor)
+        fit_pool_ctx = nullcontext()
         if executor.requires_pickling:
             # Workers build their own service; tasks and results cross the
             # process boundary, the service (and its caches) do not.
-            outcomes = executor.map(_run_campaign_task, tasks)
+            outcome_iter = executor.imap(_run_campaign_task, tasks)
         elif isinstance(executor, ThreadExecutor):
             # The thread backend parallelises at the fit/kernel level, not
             # the workload level: workloads stay serial in-process (sharing
@@ -238,18 +253,24 @@ class ErrorCampaign:
             # layer fans each (prefix, kernel) fit grid out over this
             # executor's pool.  Rows are bit-identical either way.
             service = PredictionService(self.config)
-            with active_fit_pool(executor):
-                outcomes = [_run_campaign_task(task, service) for task in tasks]
+            fit_pool_ctx = active_fit_pool(executor)
+            outcome_iter = (_run_campaign_task(task, service) for task in tasks)
         else:
             # In-process: share one service so identical measurement sets are
             # deduplicated across workloads too, not only across targets.
             service = PredictionService(self.config)
-            outcomes = executor.map(lambda task: _run_campaign_task(task, service), tasks)
+            outcome_iter = executor.imap(
+                lambda task: _run_campaign_task(task, service), tasks
+            )
 
-        rows = [row for row, _ in outcomes]
+        rows: list[CampaignRow] = []
         cache_totals: dict[str, dict[str, int]] = {}
-        for _, stats in outcomes:
-            _merge_stats(cache_totals, stats)
+        with fit_pool_ctx:
+            for row, stats in outcome_iter:
+                rows.append(row)
+                _merge_stats(cache_totals, stats)
+                if on_row is not None:
+                    on_row(row)
         return CampaignResult(
             machine=self.machine.name,
             measurement_cores=self.measurement_cores,

@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 import numpy as np
 
@@ -19,11 +19,16 @@ from repro.core.measurement import MeasurementSet
 from repro.core.result import ScalabilityPrediction
 from repro.core.time_extrapolation import TimeExtrapolationPrediction
 
+if TYPE_CHECKING:  # import only for annotations: io must stay campaign-free
+    from repro.runner.campaign import CampaignResult, CampaignRow
+
 __all__ = [
     "save_measurements",
     "load_measurements",
     "prediction_payload",
     "baseline_payload",
+    "campaign_row_payload",
+    "campaign_result_payload",
     "save_prediction_csv",
     "save_prediction_json",
     "load_prediction_json",
@@ -73,6 +78,47 @@ def baseline_payload(prediction: TimeExtrapolationPrediction) -> dict:
         "prediction_cores": [int(c) for c in prediction.prediction_cores],
         "predicted_times_s": [float(t) for t in prediction.predicted_times],
         "kernel": prediction.extrapolation.kernel_name,
+    }
+
+
+def campaign_row_payload(row: "CampaignRow") -> dict:
+    """The machine-readable document of one campaign row.
+
+    This is the shared row schema of ``estima campaign --json`` (each element
+    of ``"rows"``) and the serve protocol's streamed ``campaign`` op (the
+    ``"row"`` field of each progress line) — both build rows through this
+    helper, so streamed rows are bit-identical to batch output by
+    construction (and pinned by tests).
+    """
+    return {
+        "workload": row.workload,
+        "max_errors_pct": {k: float(v) for k, v in row.max_errors_pct.items()},
+        "baseline_errors_pct": {k: float(v) for k, v in row.baseline_errors_pct.items()},
+        "behaviour_correct": bool(row.behaviour_correct),
+    }
+
+
+def campaign_result_payload(result: "CampaignResult") -> dict:
+    """The machine-readable document of one campaign (rows + aggregates).
+
+    ``estima campaign --json`` prints exactly this (plus an ``"engine"``
+    block); the serve protocol's ``campaign`` op returns it as the final
+    ``"summary"`` document after the streamed rows.
+    """
+    return {
+        "machine": result.machine,
+        "measurement_cores": result.measurement_cores,
+        "target_labels": list(result.target_labels),
+        "rows": [campaign_row_payload(row) for row in result.rows],
+        "aggregates": {
+            label: {
+                "average_error_pct": result.average_error(label),
+                "std_error_pct": result.std_error(label),
+                "max_error_pct": result.max_error(label),
+            }
+            for label in result.target_labels
+        },
+        "all_behaviours_correct": bool(result.all_behaviours_correct()),
     }
 
 

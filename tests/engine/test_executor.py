@@ -41,6 +41,36 @@ class TestSerialExecutor:
             assert executor.map(_double, [1]) == [2]
 
 
+class TestImapStreaming:
+    """`imap` yields results in input order, lazily, identical to `map`."""
+
+    def test_serial_imap_is_lazy_and_ordered(self):
+        executor = SerialExecutor()
+        seen: list[int] = []
+        iterator = executor.imap(lambda x: seen.append(x) or 2 * x, [3, 1, 2])
+        assert seen == []  # nothing computed until consumed
+        assert next(iterator) == 6
+        assert seen == [3]  # item 1 was visible before items 2..n ran
+        assert list(iterator) == [2, 4]
+
+    def test_thread_imap_matches_map(self):
+        with ThreadExecutor(max_workers=2) as executor:
+            assert list(executor.imap(_double, list(range(8)))) == [2 * i for i in range(8)]
+
+    def test_parallel_imap_streams_in_submission_order(self):
+        executor = ParallelExecutor(max_workers=2)
+        assert list(executor.imap(_double, list(range(8)))) == [2 * i for i in range(8)]
+
+    def test_parallel_imap_single_item_runs_inline(self):
+        assert list(ParallelExecutor().imap(_double, [21])) == [42]
+
+    def test_imap_counts_tasks_like_map(self):
+        executor = SerialExecutor()
+        list(executor.imap(_double, [1, 2, 3]))
+        assert executor.tasks_mapped == 3
+        assert executor.batches_mapped == 1
+
+
 class TestParallelExecutor:
     def test_maps_in_submission_order(self):
         result = ParallelExecutor(max_workers=2).map(_double, list(range(8)))

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import multiprocessing
 import pickle
 
 import numpy as np
@@ -106,6 +107,79 @@ class TestDiskStore:
         a = store_for(tmp_path / "shared")
         b = store_for(tmp_path / "shared")
         assert a is b
+
+
+_MP_BUDGET = 32 * 1024
+_MP_PAYLOAD = "x" * 1024
+
+
+def _mp_writer(root, seed: str) -> None:
+    """One writer process: 60 ~1KB puts (over budget), interleaved reads."""
+    store = DiskStore(root, max_bytes=_MP_BUDGET)
+    for i in range(60):
+        assert store.put("fit", f"{seed}{i:03d}", _MP_PAYLOAD)
+        if i % 7 == 0:
+            store.get("fit", f"{seed}{max(i - 3, 0):03d}")
+
+
+def _mp_schema_reader(root) -> None:
+    """Exit 0 iff the schema-mismatched entry reads as a clean miss."""
+    store = DiskStore(root, max_bytes=_MP_BUDGET)
+    value = store.get("fit", "aa11")
+    if not store.is_miss(value) or store.stats.invalid_entries != 1:
+        raise SystemExit(1)
+
+
+class TestDiskStoreMultiProcess:
+    """Satellite: concurrent writers never corrupt entries or bust the budget."""
+
+    def test_two_writers_settle_within_budget_without_corruption(self, tmp_path):
+        root = tmp_path / "shared"
+        ctx = multiprocessing.get_context("fork")
+        writers = [ctx.Process(target=_mp_writer, args=(root, seed)) for seed in ("aa", "bb")]
+        for proc in writers:
+            proc.start()
+        for proc in writers:
+            proc.join(timeout=120)
+        assert [proc.exitcode for proc in writers] == [0, 0]
+
+        # After settling, the bytes actually on disk respect the budget even
+        # though each process wrote ~2x the budget and never saw the other's
+        # index — the flock'd rescan-then-evict step converges them.
+        on_disk = list(root.rglob("*.entry"))
+        total = sum(path.stat().st_size for path in on_disk)
+        assert 0 < total <= _MP_BUDGET
+        # Every surviving entry is intact: atomic writes mean a concurrent
+        # reader/evictor can never have torn one.
+        fresh = DiskStore(root, max_bytes=_MP_BUDGET)
+        for path in on_disk:
+            value = fresh.get("fit", path.stem)
+            assert not fresh.is_miss(value)
+            assert value == _MP_PAYLOAD
+        assert fresh.stats.invalid_entries == 0
+
+    def test_schema_mismatch_is_clean_miss_across_processes(self, tmp_path):
+        root = tmp_path / "shared"
+        store = DiskStore(root, max_bytes=_MP_BUDGET)
+        store.put("fit", "aa11", "current")
+        store._path("fit", "aa11").write_bytes(
+            pickle.dumps({"schema": SCHEMA_VERSION + 1, "key": "aa11", "value": "stale"})
+        )
+        reader = multiprocessing.get_context("fork").Process(
+            target=_mp_schema_reader, args=(root,)
+        )
+        reader.start()
+        reader.join(timeout=60)
+        assert reader.exitcode == 0
+
+    def test_refresh_sees_entries_written_by_other_instances(self, tmp_path):
+        first = DiskStore(tmp_path / "c")
+        second = DiskStore(tmp_path / "c")  # a "second process"
+        assert second.entry_count() == 0
+        first.put("fit", "aa11", "value")
+        second.refresh()
+        assert second.entry_count() == 1
+        assert second.total_bytes() > 0
 
 
 class TestTieredContentCache:

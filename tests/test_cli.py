@@ -326,6 +326,61 @@ class TestCacheCommand:
         assert "unknown workloads" in capsys.readouterr().err
 
 
+class TestServeConfigValidation:
+    """Satellite: malformed ESTIMA_SERVE_WORKERS / --tcp values fail fast."""
+
+    def test_malformed_env_serve_workers_rejected_at_config(self, monkeypatch):
+        from repro.core import EstimaConfig
+
+        monkeypatch.setenv("ESTIMA_SERVE_WORKERS", "many")
+        with pytest.raises(ValueError, match="ESTIMA_SERVE_WORKERS"):
+            EstimaConfig()
+
+    def test_valid_env_serve_workers_accepted(self, monkeypatch):
+        from repro.core import EstimaConfig
+
+        monkeypatch.setenv("ESTIMA_SERVE_WORKERS", "4")
+        EstimaConfig()  # must not raise
+
+    def test_negative_serve_workers_rejected_at_config(self):
+        from repro.core import EstimaConfig
+
+        with pytest.raises(ValueError, match="serve_workers"):
+            EstimaConfig(serve_workers=-1)
+
+    def test_malformed_tcp_rejected_at_config(self):
+        from repro.core import EstimaConfig
+
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            EstimaConfig(serve_tcp="nonsense")
+        with pytest.raises(ValueError, match="port"):
+            EstimaConfig(serve_tcp="127.0.0.1:notaport")
+        with pytest.raises(ValueError, match="0..65535"):
+            EstimaConfig(serve_tcp="127.0.0.1:70000")
+
+    def test_valid_tcp_accepted_at_config(self):
+        from repro.core import EstimaConfig
+
+        EstimaConfig(serve_tcp="0.0.0.0:8080", serve_workers=2)  # must not raise
+
+    def test_cli_rejects_malformed_tcp(self, capsys):
+        assert main(["serve", "--tcp", "nonsense"]) == 2
+        assert "invalid serve configuration" in capsys.readouterr().err
+
+    def test_cli_rejects_malformed_env_workers(self, monkeypatch, capsys):
+        monkeypatch.setenv("ESTIMA_SERVE_WORKERS", "lots")
+        assert main(["serve"]) == 2
+        assert "ESTIMA_SERVE_WORKERS" in capsys.readouterr().err
+
+    def test_cli_rejects_workers_without_socket_transport(self, capsys):
+        assert main(["serve", "--workers", "2"]) == 2
+        assert "--workers needs a socket transport" in capsys.readouterr().err
+
+    def test_cli_rejects_tcp_plus_socket(self, capsys):
+        assert main(["serve", "--tcp", "127.0.0.1:0", "--socket", "/tmp/x.sock"]) == 2
+        assert "at most one" in capsys.readouterr().err
+
+
 class TestServeCommand:
     def test_serve_round_trip_over_stdio_subprocess(self, tmp_path):
         """End-to-end: the `estima serve` process answers NDJSON on stdio."""
