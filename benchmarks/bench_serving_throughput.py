@@ -20,6 +20,13 @@ Not a paper figure — this bench records what the serving subsystem buys:
   predictor; across forked workers sharing the disk tier the check allows
   last-ULP wobble (<= 1e-12 relative) — the deterministic single-process
   serving paths stay pinned bit-exact by the test suite.
+* ``bench_serving_http_overhead``: the same request burst served once over
+  the raw NDJSON TCP transport and once through the HTTP/JSON gateway
+  (``POST /v1/predict`` on keep-alive connections), both by a single
+  in-process server.  Reports req/s for each and the relative HTTP framing
+  overhead; every HTTP-served result is asserted bit-identical to its
+  TCP-served counterpart (same engine, same numbers — only the framing
+  differs).
 """
 
 from __future__ import annotations
@@ -233,6 +240,136 @@ def bench_serving_tcp_worker_scaling(benchmark, tmp_path_factory):
         # The acceptance criterion; skipped on boxes that physically cannot
         # run 4 workers in parallel (the ratio is meaningless there).
         assert speedup >= 1.5, f"4-worker pool only reached {speedup:.2f}x"
+
+
+def _http_client_burst(address, payloads: list[dict]) -> list[dict]:
+    """POST payloads to /v1/predict over one keep-alive HTTP connection."""
+    import http.client
+
+    conn = http.client.HTTPConnection(*address, timeout=600)
+    try:
+        responses = []
+        for payload in payloads:
+            conn.request("POST", "/v1/predict", body=json.dumps(payload))
+            response = conn.getresponse()
+            assert response.status == 200, response.status
+            responses.append(json.loads(response.read()))
+        return responses
+    finally:
+        conn.close()
+
+
+class _ThreadedAsyncServer:
+    """Run a serve_tcp/serve_http coroutine factory on a background loop."""
+
+    def __init__(self, start_serving) -> None:
+        # start_serving(on_listening) must return the transport coroutine.
+        self._start_serving = start_serving
+        self.address: "tuple[str, int] | None" = None
+        self._ready = threading.Event()
+        self._stop: "asyncio.Event | None" = None
+        self._loop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def body():
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            task = self._loop.create_task(
+                self._start_serving(
+                    lambda addr: (setattr(self, "address", addr), self._ready.set())
+                )
+            )
+            await self._stop.wait()
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+        asyncio.run(body())
+
+    def __enter__(self) -> "_ThreadedAsyncServer":
+        self._thread.start()
+        assert self._ready.wait(timeout=60), "server did not come up"
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60)
+
+
+def bench_serving_http_overhead(benchmark):
+    """HTTP gateway vs raw NDJSON TCP: what the standard framing costs."""
+    from repro.engine.gateway import HttpGateway, serve_http
+    from repro.engine.server import serve_tcp
+
+    payloads = _request_payloads()
+    n_clients = 4
+
+    def run_transport(kind: str) -> tuple[list[dict], float]:
+        server = PredictionServer(EstimaConfig(), batch_window_ms=5.0)
+        if kind == "http":
+            gateway = HttpGateway(server)
+            box = _ThreadedAsyncServer(
+                lambda on_listening: serve_http(
+                    gateway, "127.0.0.1", 0, on_listening=on_listening
+                )
+            )
+            client = _http_client_burst
+        else:
+            box = _ThreadedAsyncServer(
+                lambda on_listening: serve_tcp(
+                    server, "127.0.0.1", 0, on_listening=on_listening
+                )
+            )
+            client = _tcp_client_burst
+        with box:
+            slices = [payloads[i::n_clients] for i in range(n_clients)]
+            responses: list[list[dict]] = [[] for _ in range(n_clients)]
+            start = time.perf_counter()
+
+            def run_client(index: int) -> None:
+                responses[index] = client(box.address, slices[index])
+
+            threads = [
+                threading.Thread(target=run_client, args=(index,))
+                for index in range(n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - start
+        return [response for per_client in responses for response in per_client], wall
+
+    def pipeline():
+        tcp_responses, tcp_wall = run_transport("tcp")
+        http_responses, http_wall = run_transport("http")
+        return tcp_responses, tcp_wall, http_responses, http_wall
+
+    tcp_responses, tcp_wall, http_responses, http_wall = run_once(benchmark, pipeline)
+
+    # Same engine behind both framings: per-id results are bit-identical.
+    assert all(r["ok"] for r in tcp_responses)
+    assert all(r["ok"] for r in http_responses)
+    tcp_by_id = {r["id"]: r["result"] for r in tcp_responses}
+    http_by_id = {r["id"]: r["result"] for r in http_responses}
+    assert set(tcp_by_id) == set(http_by_id) == {p["id"] for p in payloads}
+    for request_id, tcp_result in tcp_by_id.items():
+        assert json.dumps(tcp_result, sort_keys=True) == json.dumps(
+            http_by_id[request_id], sort_keys=True
+        ), f"HTTP-served result diverged from TCP for {request_id}"
+
+    n = len(payloads)
+    overhead_pct = 100.0 * (http_wall / max(tcp_wall, 1e-9) - 1.0)
+    print()
+    print(f"# HTTP gateway overhead: {n} predict requests over {n_clients} "
+          f"keep-alive connections per transport")
+    print(f"raw NDJSON TCP: {tcp_wall:.2f} s  ({n / tcp_wall:.2f} req/s)")
+    print(f"HTTP gateway  : {http_wall:.2f} s  ({n / http_wall:.2f} req/s)")
+    print(f"framing overhead: {overhead_pct:+.1f}% wall time "
+          f"(HTTP-served == TCP-served: True)")
 
 
 def bench_serving_warm_disk_cache(benchmark, tmp_path_factory):

@@ -20,15 +20,20 @@ simulation substrate:
     out over a process pool and ``--fit-cache`` memoizes kernel fits; both are
     verified to produce the same numbers as the serial default.
 
-``estima serve --socket /tmp/estima.sock`` / ``--tcp HOST:PORT``
+``estima serve --socket /tmp/estima.sock`` / ``--tcp HOST:PORT`` / ``--http HOST:PORT``
     Long-lived serving mode: accept JSON prediction requests (the
-    ``estima predict --json`` schema) over stdin/stdout, a unix socket or a
-    TCP listener, coalesce concurrent requests into micro-batches on the
-    prediction service, and report throughput/latency/cache counters on
-    shutdown.  ``--workers N`` (or ``ESTIMA_SERVE_WORKERS``) forks N worker
-    processes behind the socket, sharing the persistent disk cache tier; a
-    ``{"op": "campaign"}`` request streams Table-4 style campaign rows over
-    the same protocol as they complete.
+    ``estima predict --json`` schema) over stdin/stdout, a unix socket, a
+    raw-TCP NDJSON listener, or the HTTP/JSON gateway (``POST
+    /v1/predict``, ``POST /v1/predict_batch``, streamed ``POST
+    /v1/campaign``, ``GET /healthz``, ``GET /metrics`` — see
+    ``docs/serve-protocol.md``); coalesce concurrent requests into
+    micro-batches on the prediction service; with ``--stats``, print the
+    throughput/latency/cache counters on shutdown (the same snapshot ``GET
+    /metrics`` renders).  ``--workers N`` (or ``ESTIMA_SERVE_WORKERS``)
+    forks N worker processes behind the socket — NDJSON and HTTP alike —
+    sharing the persistent disk cache tier; a ``{"op": "campaign"}``
+    request streams Table-4 style campaign rows over the same protocol as
+    they complete.
 
 ``estima cache stats|clear|warm``
     Manage the persistent disk tier of the fit/extrapolation caches
@@ -179,7 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="serve JSON prediction requests over stdin/stdout, a unix socket or TCP",
+        help="serve JSON prediction requests over stdin/stdout, a unix socket, TCP or HTTP",
     )
     serve.add_argument(
         "--socket", default=None, help="unix socket path (default: stdin/stdout)"
@@ -188,7 +193,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--tcp",
         default=None,
         metavar="HOST:PORT",
-        help="TCP listening address (port 0 picks a free port)",
+        help="NDJSON TCP listening address (port 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--http",
+        default=None,
+        metavar="HOST:PORT",
+        help="HTTP/JSON gateway listening address (predict/predict_batch/campaign/"
+        "healthz/metrics routes; default: $ESTIMA_SERVE_HTTP; port 0 picks a free port)",
     )
     serve.add_argument(
         "--workers",
@@ -215,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="persistent disk tier for warm restarts; implies --fit-cache (default: $ESTIMA_CACHE_DIR)",
+    )
+    serve.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the stats snapshot (one JSON line, the same counters GET /metrics "
+        "reports) to stderr on shutdown",
     )
     serve.set_defaults(func=_cmd_serve)
 
@@ -513,20 +531,29 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.engine.pool import WorkerPool, parse_tcp_address, serve_workers_from_env
+    from repro.engine.pool import (
+        WorkerPool,
+        parse_tcp_address,
+        serve_http_from_env,
+        serve_workers_from_env,
+    )
     from repro.engine.server import PredictionServer, serve_stdio, serve_tcp, serve_unix
 
-    if args.tcp and args.socket:
-        print("serve takes at most one of --tcp / --socket", file=sys.stderr)
+    if sum(1 for transport in (args.tcp, args.socket, args.http) if transport) > 1:
+        print("serve takes at most one of --tcp / --socket / --http", file=sys.stderr)
         return 2
     try:
         workers = args.workers if args.workers is not None else serve_workers_from_env()
+        http_address = args.http
+        if http_address is None and not (args.tcp or args.socket):
+            http_address = serve_http_from_env()
         config = EstimaConfig(
             # An explicit --cache-dir would be silently useless without the
             # fit cache, so it implies --fit-cache.
             use_fit_cache=args.fit_cache or bool(args.cache_dir),
             serve_workers=workers,
             serve_tcp=args.tcp,
+            serve_http=http_address,
             **({"cache_dir": args.cache_dir} if args.cache_dir else {}),
         )
     except ValueError as exc:
@@ -535,30 +562,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if config.serve_workers:
         # Worker-pool mode: a supervisor accepts on the listening socket and
-        # dispatches connections to N forked PredictionServer processes.
-        if not (args.tcp or args.socket):
-            print("--workers needs a socket transport (--tcp or --socket)", file=sys.stderr)
+        # dispatches connections to N forked worker processes, each running
+        # the full NDJSON server (or the HTTP gateway on top of it).
+        if not (args.tcp or args.socket or config.serve_http):
+            print(
+                "--workers needs a socket transport (--tcp, --http or --socket)",
+                file=sys.stderr,
+            )
             return 2
         pool = WorkerPool(
             config,
             workers=config.serve_workers,
-            tcp=args.tcp,
+            tcp=config.serve_http or args.tcp,
             unix_socket=args.socket,
             max_batch=args.max_batch,
             batch_window_ms=args.batch_window_ms,
             queue_limit=args.queue_limit,
+            protocol="http" if config.serve_http else "ndjson",
         )
         pool.start()
-        if args.tcp:
-            host, port = pool.address
+        if args.socket:
             print(
-                f"serving on tcp {host}:{port} with {config.serve_workers} workers",
+                f"serving on unix socket {args.socket} with {config.serve_workers} workers",
                 file=sys.stderr,
                 flush=True,
             )
         else:
+            scheme = "http" if config.serve_http else "tcp"
+            host, port = pool.address
             print(
-                f"serving on unix socket {args.socket} with {config.serve_workers} workers",
+                f"serving on {scheme} {host}:{port} with {config.serve_workers} workers",
                 file=sys.stderr,
                 flush=True,
             )
@@ -568,7 +601,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except KeyboardInterrupt:
             pass
         summary = pool.stop()
-        print(json.dumps(summary), file=sys.stderr)
+        if args.stats:
+            # One machine-readable line: per-worker snapshots (each the dict
+            # that worker's /metrics renders) plus the supervisor's merged
+            # totals, which no single /metrics scrape can see.
+            print(json.dumps(summary), file=sys.stderr)
         return 0
 
     server = PredictionServer(
@@ -577,15 +614,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_window_ms=args.batch_window_ms,
         queue_limit=args.queue_limit,
     )
+    stats_source = server.stats
 
-    def announce_tcp(address: tuple) -> None:
-        print(f"serving on tcp {address[0]}:{address[1]}", file=sys.stderr, flush=True)
+    def announce(scheme: str):
+        def on_listening(address: tuple) -> None:
+            print(
+                f"serving on {scheme} {address[0]}:{address[1]}", file=sys.stderr, flush=True
+            )
+
+        return on_listening
 
     async def run() -> None:
         try:
-            if args.tcp:
+            if config.serve_http:
+                from repro.engine.gateway import HttpGateway, serve_http
+
+                gateway = HttpGateway(server)
+                # The shutdown line and GET /metrics now share one snapshot
+                # assembly (HttpGateway.stats): they can never disagree.
+                nonlocal stats_source
+                stats_source = gateway.stats
+                host, port = parse_tcp_address(config.serve_http)
+                await serve_http(gateway, host, port, on_listening=announce("http"))
+            elif args.tcp:
                 host, port = parse_tcp_address(args.tcp)
-                await serve_tcp(server, host, port, on_listening=announce_tcp)
+                await serve_tcp(server, host, port, on_listening=announce("tcp"))
             elif args.socket:
                 print(f"serving on unix socket {args.socket}", file=sys.stderr, flush=True)
                 await serve_unix(server, args.socket)
@@ -598,8 +651,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         pass
-    # Shutdown report: one machine-readable line so wrappers can scrape it.
-    print(json.dumps(server.stats()), file=sys.stderr)
+    if args.stats:
+        # Shutdown report: one machine-readable line so wrappers can scrape
+        # it — the exact snapshot GET /metrics renders in HTTP mode.
+        print(json.dumps(stats_source()), file=sys.stderr)
     return 0
 
 

@@ -104,6 +104,12 @@ class EstimaConfig:
         ``HOST:PORT`` TCP listening address for ``estima serve --tcp``
         (``None`` keeps stdio/unix-socket serving).  Validated strictly at
         construction; port 0 asks the listener for a free port.
+    serve_http:
+        ``HOST:PORT`` listening address for the HTTP/JSON gateway
+        (``estima serve --http``, :mod:`repro.engine.gateway`); ``None``
+        (the default) keeps HTTP off.  ``ESTIMA_SERVE_HTTP`` provides the
+        CLI default; both the field and the environment variable are
+        validated strictly here at construction, like ``serve_tcp``.
 
     None of the engine knobs (``executor``, ``max_workers``,
     ``use_fit_cache``, ``cache_*``, ``serve_*``) affect predicted numbers —
@@ -129,6 +135,7 @@ class EstimaConfig:
     serve_queue_limit: int = 256
     serve_workers: int = 0
     serve_tcp: str | None = None
+    serve_http: str | None = None
 
     def __post_init__(self) -> None:
         # Engine imports are deferred to the call: repro.engine.cache is a
@@ -140,6 +147,7 @@ class EstimaConfig:
             ENV_SERVE_WORKERS,
             parse_serve_workers,
             parse_tcp_address,
+            serve_http_from_env,
         )
         from repro.engine.store import max_bytes_from_env
 
@@ -181,6 +189,12 @@ class EstimaConfig:
             parse_serve_workers(env_serve_workers, source=ENV_SERVE_WORKERS)
         if self.serve_tcp is not None:
             parse_tcp_address(self.serve_tcp)  # raises ValueError when malformed
+        if self.serve_http is not None:
+            try:
+                parse_tcp_address(self.serve_http)
+            except ValueError as exc:
+                raise ValueError(f"invalid serve_http: {exc}") from None
+        serve_http_from_env()  # raises ValueError when ESTIMA_SERVE_HTTP is malformed
         if self.frequency_ratio <= 0.0:
             raise ValueError("frequency_ratio must be positive")
         if self.dataset_ratio <= 0.0:

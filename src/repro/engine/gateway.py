@@ -1,0 +1,559 @@
+"""HTTP/JSON gateway over the NDJSON prediction server.
+
+``estima serve --http HOST:PORT`` puts a minimal, stdlib-only HTTP/1.1
+front-end in front of the exact machinery the NDJSON protocol uses — the
+micro-batching :class:`~repro.engine.server.PredictionServer`, its
+:class:`~repro.engine.service.PredictionService` and the tiered fit caches —
+so load balancers, browsers, ``curl`` and standard client libraries can reach
+the predictor without speaking a custom protocol.
+
+Routes (the full reference, with schemas and examples, lives in
+``docs/serve-protocol.md``; the doc-sync test keeps it honest):
+
+``POST /v1/predict``
+    Body: one predict request object (the NDJSON ``predict`` op without the
+    ``"op"`` key).  Response: the NDJSON response document.  200 when
+    ``"ok"`` is true, 400 otherwise.
+``POST /v1/predict_batch``
+    Body: ``{"requests": [...]}`` (or a bare JSON array) of predict request
+    objects.  Every element is submitted concurrently, so the batch
+    coalesces in the micro-batcher exactly like concurrent NDJSON clients.
+    Response: 200 with ``{"ok": <all ok>, "responses": [...]}`` in request
+    order (per-element errors are reported inline, multi-status style).
+``POST /v1/campaign``
+    Body: one NDJSON ``campaign`` request object (the ``"op"`` key is
+    implied by the route).  Response: ``200`` with ``Transfer-Encoding:
+    chunked`` NDJSON — one chunk per completed Table-4-style row as it
+    finishes, then the final summary document.  Row payloads are built by
+    :func:`repro.runner.io.campaign_row_payload`, the same helper ``estima
+    campaign --json`` uses, so streamed rows are bit-identical to batch
+    output.  Requests that fail validation are rejected with 400 *before*
+    the stream starts.
+``GET /healthz``
+    Liveness: 200 ``{"ok": true}`` once the server's batcher is running.
+``GET /metrics``
+    The server's throughput/latency/batching/cache counters in Prometheus
+    text format.  Rendered from the *same* stats snapshot ``estima serve
+    --stats`` prints (:meth:`HttpGateway.stats` -> :func:`flatten_stats`),
+    so the two can never disagree.
+
+Concurrency / crash-safety invariants of this module:
+
+* **Sequential per connection.** Requests on one HTTP connection are read,
+  dispatched and answered strictly one at a time (HTTP/1.1 keep-alive
+  without pipelining) — response ordering needs no
+  ``_OrderedResponseWriter`` here; concurrency comes from many connections,
+  which still coalesce in the shared micro-batcher.
+* **Validate before streaming.** ``/v1/campaign`` parses the request fully
+  before the 200 header is written, so clients always get a real HTTP
+  status for malformed requests; errors after streaming begins arrive as a
+  final NDJSON error document inside the 200 body (the HTTP status is
+  already on the wire).
+* **Disconnect containment.** A client vanishing mid-stream aborts its
+  campaign at the next row boundary (the write raises, the server's
+  abandonment path stops the worker thread) and never takes the gateway
+  down; malformed framing closes only that connection.
+* **One stats source.** ``GET /metrics`` renders
+  :meth:`HttpGateway.stats`; the CLI's ``--stats`` shutdown report prints
+  the same dict.  ``/metrics`` counts itself before rendering, so the
+  response body already includes the request that fetched it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.core.config import EstimaConfig
+
+from .server import PredictionServer, RequestError, parse_campaign_request
+
+__all__ = [
+    "ROUTES",
+    "STATUS_REASONS",
+    "HttpGateway",
+    "flatten_stats",
+    "metrics_text",
+    "serve_http",
+]
+
+#: Every route the gateway serves, ``(method, path) -> handler name``.  The
+#: doc-sync test walks this mapping, so an undocumented route fails CI.
+ROUTES: dict[tuple[str, str], str] = {
+    ("POST", "/v1/predict"): "predict",
+    ("POST", "/v1/predict_batch"): "predict_batch",
+    ("POST", "/v1/campaign"): "campaign",
+    ("GET", "/healthz"): "healthz",
+    ("GET", "/metrics"): "metrics",
+}
+
+#: Every status code the gateway can emit (also walked by the doc-sync test).
+STATUS_REASONS: dict[int, str] = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+#: Default bound on a request body (measurement sets are ~100 KiB; 16 MiB
+#: leaves generous headroom while keeping a misbehaving client from ballooning
+#: worker memory).
+DEFAULT_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_JSON_CONTENT_TYPE = "application/json"
+_NDJSON_CONTENT_TYPE = "application/x-ndjson"
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+# --------------------------------------------------------------------------- #
+# Stats flattening (the single source of truth behind /metrics and --stats)
+# --------------------------------------------------------------------------- #
+
+
+def _metric_segment(key: object) -> str:
+    """One Prometheus-safe name segment from a snapshot dict key."""
+    text = re.sub(r"[^a-z0-9_]+", "_", str(key).lower()).strip("_")
+    return text or "x"
+
+
+def flatten_stats(snapshot: Mapping[str, Any], prefix: str = "estima") -> dict[str, float]:
+    """Flatten a stats snapshot into ``{metric_name: float}`` gauges.
+
+    Every numeric leaf of the nested snapshot dict becomes one metric named
+    by its path (``{"server": {"requests": 3}}`` -> ``estima_server_requests
+    3.0``); booleans become 0/1, non-numeric leaves (strings, lists) are
+    skipped.  Both ``GET /metrics`` and the tests asserting metrics/stats
+    identity go through this one function — there is no second dict
+    assembly to drift.
+    """
+    gauges: dict[str, float] = {}
+
+    def walk(parts: list[str], value: Any) -> None:
+        if isinstance(value, Mapping):
+            for key, child in value.items():
+                walk(parts + [_metric_segment(key)], child)
+        elif isinstance(value, bool):
+            gauges["_".join(parts)] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            gauges["_".join(parts)] = float(value)
+
+    walk([_metric_segment(prefix)], snapshot)
+    return gauges
+
+
+def metrics_text(snapshot: Mapping[str, Any], prefix: str = "estima") -> str:
+    """Render a stats snapshot as Prometheus text exposition format."""
+    gauges = flatten_stats(snapshot, prefix)
+    lines = []
+    for name in sorted(gauges):
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {gauges[name]!r}")
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------------- #
+# Request framing
+# --------------------------------------------------------------------------- #
+
+
+class _HttpError(Exception):
+    """A request that cannot be served; carries the HTTP status to report."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class _HttpRequest:
+    method: str
+    path: str
+    version: str
+    headers: dict[str, str]
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> _HttpRequest | None:
+    """Read one HTTP/1.x request; ``None`` on clean EOF before a request."""
+    try:
+        request_line = await reader.readline()
+    except ValueError:  # line longer than the stream's limit
+        raise _HttpError(400, "request line too long") from None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise _HttpError(400, f"malformed request line: {request_line[:80]!r}")
+    method, target, version = parts
+    headers: dict[str, str] = {}
+    while True:
+        try:
+            line = await reader.readline()
+        except ValueError:
+            raise _HttpError(400, "header line too long") from None
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise _HttpError(400, "connection closed inside headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise _HttpError(400, f"malformed header line: {line[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise _HttpError(411, "chunked request bodies are not supported")
+    if method.upper() in ("POST", "PUT", "PATCH") and "content-length" not in headers:
+        raise _HttpError(411, f"{method} requests need a Content-Length header")
+    if "content-length" in headers:
+        # Consume the declared body on *every* method (a GET carrying one is
+        # unusual but legal): leaving it unread would desync this keep-alive
+        # connection — the next read would parse body bytes as a request line.
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise _HttpError(400, "malformed Content-Length header") from None
+        if length < 0:
+            raise _HttpError(400, "malformed Content-Length header")
+        if length > max_body_bytes:
+            raise _HttpError(
+                413, f"request body of {length} bytes exceeds the {max_body_bytes} byte bound"
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise _HttpError(400, "connection closed inside the request body") from None
+    path = target.split("?", 1)[0]
+    return _HttpRequest(method.upper(), path, version, headers, body)
+
+
+# --------------------------------------------------------------------------- #
+# The gateway
+# --------------------------------------------------------------------------- #
+
+
+class HttpGateway:
+    """Serve the HTTP routes above from one :class:`PredictionServer`.
+
+    The gateway owns no prediction machinery: every request lands in the
+    server's existing submit paths (and therefore its micro-batcher and
+    metrics).  One gateway instance is shared by all connections of a
+    process so the HTTP-level counters it adds to :meth:`stats` are
+    process-wide, exactly like the server's own.
+    """
+
+    def __init__(
+        self,
+        server: PredictionServer | None = None,
+        *,
+        config: EstimaConfig | None = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ) -> None:
+        self.server = server if server is not None else PredictionServer(config)
+        self.max_body_bytes = max_body_bytes
+        self._requests_by_route: dict[str, int] = {}
+        self._responses_by_status: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Stats (the one snapshot /metrics and --stats both report)
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        """The server's snapshot plus this gateway's HTTP-level counters."""
+        snapshot = self.server.stats()
+        snapshot["http"] = {
+            "requests_by_route": dict(sorted(self._requests_by_route.items())),
+            "responses_by_status": dict(sorted(self._responses_by_status.items())),
+        }
+        return snapshot
+
+    def _count_request(self, route_key: str) -> None:
+        self._requests_by_route[route_key] = self._requests_by_route.get(route_key, 0) + 1
+
+    def _count_response(self, status: int) -> None:
+        key = str(status)
+        self._responses_by_status[key] = self._responses_by_status.get(key, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one HTTP connection (keep-alive) until EOF or close."""
+        await self.server.start()
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader, self.max_body_bytes)
+                except _HttpError as exc:
+                    # Framing is broken or untrusted past this point: report
+                    # the status and close rather than resynchronise.
+                    self._count_request("unparsed")
+                    await self._write_json(
+                        writer, exc.status, {"ok": False, "error": str(exc)}, keep_alive=False
+                    )
+                    break
+                if request is None:
+                    break
+                keep_alive = await self._dispatch(request, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing left to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, RuntimeError):
+                pass
+
+    async def _dispatch(self, request: _HttpRequest, writer: asyncio.StreamWriter) -> bool:
+        """Serve one parsed request; returns whether to keep the connection."""
+        method, path = request.method, request.path
+        handler = ROUTES.get((method, path))
+        self._count_request(f"{method} {path}" if handler else "unmatched")
+        keep_alive = request.keep_alive
+        if handler is None:
+            allowed = sorted({m for m, p in ROUTES if p == path})
+            if allowed:
+                await self._write_json(
+                    writer,
+                    405,
+                    {"ok": False, "error": f"method {method} not allowed for {path}"},
+                    keep_alive=keep_alive,
+                    extra_headers=(("Allow", ", ".join(allowed)),),
+                )
+            else:
+                await self._write_json(
+                    writer, 404, {"ok": False, "error": f"no route for {path}"},
+                    keep_alive=keep_alive,
+                )
+            return keep_alive
+        try:
+            if handler == "healthz":
+                await self._write_json(writer, 200, {"ok": True}, keep_alive=keep_alive)
+            elif handler == "metrics":
+                # Count this response *before* rendering so the exposition
+                # already includes the request/response that produced it —
+                # a later stats() snapshot then matches it exactly.
+                self._count_response(200)
+                body = metrics_text(self.stats()).encode()
+                await self._write_response(
+                    writer, 200, body, _METRICS_CONTENT_TYPE,
+                    keep_alive=keep_alive, count=False,
+                )
+            elif handler == "predict":
+                status, document = await self._predict(request.body)
+                await self._write_json(writer, status, document, keep_alive=keep_alive)
+            elif handler == "predict_batch":
+                status, document = await self._predict_batch(request.body)
+                await self._write_json(writer, status, document, keep_alive=keep_alive)
+            else:  # campaign
+                keep_alive = await self._campaign(request, writer, keep_alive)
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except Exception as exc:  # a handler bug must not kill the listener
+            await self._write_json(
+                writer, 500, {"ok": False, "error": f"internal error: {exc}"},
+                keep_alive=False,
+            )
+            return False
+        return keep_alive
+
+    # ------------------------------------------------------------------ #
+    # Route handlers
+    # ------------------------------------------------------------------ #
+    def _parse_body(self, body: bytes) -> Any:
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"bad JSON body: {exc}") from None
+
+    async def _predict(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        try:
+            payload = self._parse_body(body)
+        except _HttpError as exc:
+            return exc.status, {"ok": False, "error": str(exc)}
+        if isinstance(payload, Mapping) and payload.get("op", "predict") != "predict":
+            return 400, {
+                "id": payload.get("id"),
+                "ok": False,
+                "error": f"unsupported op {payload.get('op')!r} for /v1/predict"
+                " (campaigns go to /v1/campaign)",
+            }
+        document = await self.server.submit(payload)
+        if document.get("ok"):
+            return 200, document
+        # "request" errors are the client's fault (400); pipeline failures
+        # are the server's (500) — retry policies must see the difference.
+        return (500 if document.get("error_kind") == "internal" else 400), document
+
+    async def _predict_batch(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        try:
+            payload = self._parse_body(body)
+        except _HttpError as exc:
+            return exc.status, {"ok": False, "error": str(exc)}
+        requests = payload.get("requests") if isinstance(payload, Mapping) else payload
+        if not isinstance(requests, list):
+            return 400, {
+                "ok": False,
+                "error": "body must be {\"requests\": [...]} or a JSON array",
+            }
+        if not requests:
+            return 400, {"ok": False, "error": "predict_batch needs at least one request"}
+        # Submitted concurrently so the whole batch coalesces in the
+        # micro-batcher; responses come back in request order regardless.
+        documents = await asyncio.gather(
+            *(self.server.submit(request) for request in requests)
+        )
+        ok = all(document.get("ok") for document in documents)
+        return 200, {"ok": ok, "responses": list(documents)}
+
+    async def _campaign(
+        self, request: _HttpRequest, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> bool:
+        try:
+            payload = self._parse_body(request.body)
+        except _HttpError as exc:
+            await self._write_json(
+                writer, exc.status, {"ok": False, "error": str(exc)}, keep_alive=keep_alive
+            )
+            return keep_alive
+        if not isinstance(payload, Mapping):
+            await self._write_json(
+                writer, 400, {"ok": False, "error": "request must be a JSON object"},
+                keep_alive=keep_alive,
+            )
+            return keep_alive
+        # Validate fully before committing to a 200: a malformed campaign
+        # gets a real HTTP status, never a 200 with an error inside.  (The
+        # parse runs again inside submit_campaign — milliseconds of lookup
+        # work, accepted so the server API keeps one entry point while the
+        # gateway keeps real statuses; the campaign itself costs minutes.)
+        try:
+            await asyncio.get_running_loop().run_in_executor(
+                None, parse_campaign_request, payload, self.server.config
+            )
+        except RequestError as exc:
+            await self._write_json(
+                writer,
+                400,
+                {"id": payload.get("id"), "ok": False, "error": str(exc)},
+                keep_alive=keep_alive,
+            )
+            return keep_alive
+
+        self._count_response(200)
+        writer.write(
+            (
+                f"HTTP/1.1 200 {STATUS_REASONS[200]}\r\n"
+                f"Content-Type: {_NDJSON_CONTENT_TYPE}\r\n"
+                "Transfer-Encoding: chunked\r\n"
+                f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+                "\r\n"
+            ).encode()
+        )
+        await writer.drain()
+
+        async def write_chunk(document: Mapping[str, Any]) -> None:
+            data = json.dumps(document).encode() + b"\n"
+            writer.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+            await writer.drain()
+
+        try:
+            final = await self.server.submit_campaign(payload, on_row=write_chunk)
+            await write_chunk(final)
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except Exception:
+            # The 200 header (and possibly rows) are already on the wire: a
+            # trailing HTTP error response would corrupt the chunked framing.
+            # Close without the terminating 0-chunk — the truncated stream is
+            # the client's error signal.
+            return False
+        return keep_alive
+
+    # ------------------------------------------------------------------ #
+    # Response writing
+    # ------------------------------------------------------------------ #
+    async def _write_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        document: Mapping[str, Any],
+        *,
+        keep_alive: bool,
+        extra_headers: tuple[tuple[str, str], ...] = (),
+    ) -> None:
+        body = json.dumps(document).encode() + b"\n"
+        await self._write_response(
+            writer, status, body, _JSON_CONTENT_TYPE,
+            keep_alive=keep_alive, extra_headers=extra_headers,
+        )
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str,
+        *,
+        keep_alive: bool,
+        extra_headers: tuple[tuple[str, str], ...] = (),
+        count: bool = True,
+    ) -> None:
+        if count:
+            self._count_response(status)
+        lines = [
+            f"HTTP/1.1 {status} {STATUS_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in extra_headers)
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
+
+# --------------------------------------------------------------------------- #
+# Transport
+# --------------------------------------------------------------------------- #
+
+
+async def serve_http(
+    gateway: HttpGateway,
+    host: str,
+    port: int,
+    *,
+    on_listening: "Callable[[tuple[str, int]], None] | None" = None,
+) -> None:
+    """Serve HTTP connections on a TCP listener until cancelled.
+
+    The exact shape of :func:`repro.engine.server.serve_tcp`: ``port`` 0
+    binds an ephemeral port and ``on_listening`` receives the bound
+    ``(host, port)`` (the CLI announces it, tests connect to it).
+    """
+    await gateway.server.start()
+    http_server = await asyncio.start_server(gateway.handle_connection, host=host, port=port)
+    if on_listening is not None:
+        bound = http_server.sockets[0].getsockname()
+        on_listening((bound[0], bound[1]))
+    async with http_server:
+        await http_server.serve_forever()

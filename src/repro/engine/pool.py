@@ -21,13 +21,36 @@ a pre-fork pool, the multi-core serving leg of the roadmap:
   maxed), so the pool reports one coherent set of throughput/latency/cache
   numbers.
 
-The protocol spoken on every connection is exactly the single-process one
-(NDJSON predict + streamed campaign ops); which mode serves a client is
-invisible to it.
+The protocol spoken on every connection is exactly the single-process one —
+NDJSON predict + streamed campaign ops by default, or HTTP
+(:mod:`repro.engine.gateway`) when the pool is built with
+``protocol="http"`` — so which mode serves a client is invisible to it.
 
-This module imports :mod:`repro.engine.server` only inside the worker entry
-point, so :class:`EstimaConfig` can import the parse helpers below without a
-cycle.
+Concurrency / crash-safety invariants of this module:
+
+* **SCM_RIGHTS handoff.** The supervisor owns the listening socket alone;
+  workers receive each accepted connection as a duplicated file descriptor
+  over a per-worker unix socketpair.  Once the fd is sent the supervisor
+  closes its copy — exactly one process owns every connection, and a worker
+  crash can only drop the connections that worker held, never the listener.
+* **Fd hygiene on fork.** A freshly forked worker closes the inherited
+  listener (an orphan must not hold the port after a supervisor crash) and
+  its siblings' channel fds (a dead sibling's socketpair must read as
+  closed, or dispatch to it would block forever).
+* **Supervised restart.** The health loop detects a dead worker, forks a
+  replacement into the same slot under exponential backoff (crash loops
+  cannot spin the supervisor), and dispatch skips dead workers meanwhile —
+  the pool serves with the survivors at every point in time.
+* **Stats are merged, never shared.** Workers share no memory; counters are
+  polled over per-worker control pipes and merged (sums, ``max_*`` maxima,
+  denominator-weighted means), so one coherent stats document exists without
+  any cross-process synchronisation.  The only shared mutable state is the
+  :class:`~repro.engine.store.DiskStore` tier, which is multi-process safe
+  by its own flock-ledger invariants.
+
+This module imports :mod:`repro.engine.server` (and, for HTTP pools,
+:mod:`repro.engine.gateway`) only inside the worker entry point, so
+:class:`EstimaConfig` can import the parse helpers below without a cycle.
 """
 
 from __future__ import annotations
@@ -44,14 +67,24 @@ from typing import Any, Mapping
 
 __all__ = [
     "ENV_SERVE_WORKERS",
+    "ENV_SERVE_HTTP",
+    "PROTOCOLS",
     "parse_serve_workers",
     "serve_workers_from_env",
+    "serve_http_from_env",
     "parse_tcp_address",
     "WorkerPool",
 ]
 
 #: Environment variable with the default worker count (0 = serve in-process).
 ENV_SERVE_WORKERS = "ESTIMA_SERVE_WORKERS"
+
+#: Environment variable with the default ``estima serve --http`` address.
+ENV_SERVE_HTTP = "ESTIMA_SERVE_HTTP"
+
+#: Wire protocols a worker (or the in-process server) can speak on accepted
+#: connections: the native NDJSON protocol or the HTTP/JSON gateway.
+PROTOCOLS = ("ndjson", "http")
 
 #: How long the supervisor waits for a worker's control reply (seconds).
 _CONTROL_TIMEOUT_S = 10.0
@@ -82,6 +115,23 @@ def serve_workers_from_env(default: int = 0) -> int:
     if not raw:
         return default
     return parse_serve_workers(raw, source=ENV_SERVE_WORKERS)
+
+
+def serve_http_from_env() -> str | None:
+    """The HTTP listening address configured via ``ESTIMA_SERVE_HTTP``.
+
+    Returns ``None`` when unset/blank; a set value is validated strictly
+    (``HOST:PORT``) so a malformed address fails fast, the same contract as
+    ``ESTIMA_SERVE_WORKERS``.
+    """
+    raw = os.environ.get(ENV_SERVE_HTTP, "").strip()
+    if not raw:
+        return None
+    try:
+        parse_tcp_address(raw)
+    except ValueError as exc:
+        raise ValueError(f"invalid {ENV_SERVE_HTTP} environment variable: {exc}") from None
+    return raw
 
 
 def parse_tcp_address(spec: str) -> tuple[str, int]:
@@ -198,6 +248,12 @@ class WorkerPool:
     max_batch / batch_window_ms / queue_limit:
         Per-worker micro-batching knobs, forwarded to each worker's
         :class:`~repro.engine.server.PredictionServer`.
+    protocol:
+        What the workers speak on accepted connections: ``"ndjson"`` (the
+        native protocol, default) or ``"http"`` (each worker serves the
+        routes of :class:`~repro.engine.gateway.HttpGateway`).  Dispatch,
+        health checks and stats merging are identical either way — the
+        supervisor never looks inside a connection.
     health_interval_s:
         How often the supervisor checks worker liveness and restarts
         crashed workers.
@@ -213,16 +269,20 @@ class WorkerPool:
         max_batch: int | None = None,
         batch_window_ms: float | None = None,
         queue_limit: int | None = None,
+        protocol: str = "ndjson",
         health_interval_s: float = 0.5,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if (tcp is None) == (unix_socket is None):
             raise ValueError("exactly one of tcp / unix_socket is required")
+        if protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {protocol!r}: expected one of {PROTOCOLS}")
         if tcp is not None and not isinstance(tcp, tuple):
             tcp = parse_tcp_address(tcp)
         self.config = config
         self.workers = workers
+        self.protocol = protocol
         self.tcp = tcp
         self.unix_socket = unix_socket
         self.health_interval_s = health_interval_s
@@ -376,7 +436,7 @@ class WorkerPool:
         process = self._mp.Process(
             target=_worker_main,
             args=(index, child_sock, child_conn, self.config, self._serve_options,
-                  tuple(inherited_fds)),
+                  tuple(inherited_fds), self.protocol),
             name=f"estima-serve-worker-{index}",
             daemon=True,
         )
@@ -483,7 +543,7 @@ class WorkerPool:
 
 
 def _worker_main(index, fd_channel, control, config, serve_options,
-                 inherited_fds=()):  # pragma: no cover
+                 inherited_fds=(), protocol="ndjson"):  # pragma: no cover
     # Forked child: coverage and the parent's signal expectations do not
     # apply here.  SIGINT belongs to the supervisor (workers are stopped over
     # the control pipe), so ignore it to avoid double-handling a Ctrl-C that
@@ -499,7 +559,9 @@ def _worker_main(index, fd_channel, control, config, serve_options,
         except OSError:
             pass
     try:
-        asyncio.run(_worker_serve(index, fd_channel, control, config, serve_options))
+        asyncio.run(
+            _worker_serve(index, fd_channel, control, config, serve_options, protocol)
+        )
     except Exception:
         # Leave a trace before dying: the supervisor only sees the exit code.
         print(f"estima serve: worker {index} crashed:", file=sys.stderr, flush=True)
@@ -507,12 +569,22 @@ def _worker_main(index, fd_channel, control, config, serve_options,
         os._exit(1)  # supervisor's health loop forks a replacement
 
 
-async def _worker_serve(index, fd_channel, control, config, serve_options):  # pragma: no cover
+async def _worker_serve(index, fd_channel, control, config, serve_options,
+                        protocol="ndjson"):  # pragma: no cover
     import asyncio
 
     from .server import PredictionServer
 
     server = PredictionServer(config, **serve_options)
+    if protocol == "http":
+        from .gateway import HttpGateway
+
+        gateway = HttpGateway(server)
+        handle_connection = gateway.handle_connection
+        stats = gateway.stats  # one snapshot source: includes http counters
+    else:
+        handle_connection = server.handle_stream
+        stats = server.stats
     await server.start()
     loop = asyncio.get_running_loop()
     stop = asyncio.Event()
@@ -528,7 +600,7 @@ async def _worker_serve(index, fd_channel, control, config, serve_options):  # p
             except OSError:
                 sock.close()
                 return
-            await server.handle_stream(reader, writer)
+            await handle_connection(reader, writer)
 
         task = loop.create_task(serve_connection())
         connections.add(task)
@@ -557,7 +629,7 @@ async def _worker_serve(index, fd_channel, control, config, serve_options):  # p
                     control.send(("pong", index))
             elif command == "stats":
                 with send_lock:
-                    control.send(server.stats())
+                    control.send(stats())
             elif command == "stop":
                 break
         loop.call_soon_threadsafe(stop.set)
@@ -572,7 +644,7 @@ async def _worker_serve(index, fd_channel, control, config, serve_options):  # p
         pass
     if connections:  # drain in-flight connections before reporting stats
         await asyncio.gather(*connections, return_exceptions=True)
-    final = server.stats()
+    final = stats()
     await server.stop()
     with send_lock:
         try:

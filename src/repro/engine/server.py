@@ -62,7 +62,26 @@ Transports: stdio (:func:`serve_stdio`), unix socket (:func:`serve_unix`) and
 TCP (:func:`serve_tcp`, ``estima serve --tcp HOST:PORT``) all speak this
 protocol through :meth:`PredictionServer.handle_stream`; the
 :class:`~repro.engine.pool.WorkerPool` supervisor puts N forked copies of
-this server behind one listening socket.
+this server behind one listening socket, and the HTTP gateway
+(:mod:`repro.engine.gateway`, ``estima serve --http``) maps HTTP routes onto
+the same submit paths.
+
+Concurrency / crash-safety invariants of this module:
+
+* **Ordered-response writer.** Each connection's responses are serialised by
+  :class:`_OrderedResponseWriter`: request ``seq`` owns write slot ``seq``
+  and hands the stream to ``seq + 1`` only when finished, so dispatch stays
+  concurrent (micro-batching is preserved) while clients observe strict
+  FIFO responses — never a drop, duplicate or reorder, and a streamed
+  campaign's rows stay contiguous at that request's position.
+* **Bounded intake.** The request queue and the per-connection in-flight
+  semaphore are both bounded by ``serve_queue_limit``; when the pipeline
+  falls behind, reads stop and clients block instead of the server growing
+  without bound.
+* **Failure containment.** A malformed request, a failed batch and a failed
+  campaign are each reported on their own request id; the batcher task,
+  other requests and other connections keep running.  A client that
+  disconnects mid-campaign aborts that campaign at the next row boundary.
 """
 
 from __future__ import annotations
@@ -83,6 +102,7 @@ from repro.core.measurement import MeasurementSet
 from .service import PredictionRequest, PredictionService
 
 __all__ = [
+    "SUPPORTED_OPS",
     "ServerMetrics",
     "PredictionServer",
     "parse_request",
@@ -91,6 +111,11 @@ __all__ = [
     "serve_unix",
     "serve_tcp",
 ]
+
+#: Every ``"op"`` value the NDJSON protocol accepts.  Dispatch in
+#: :meth:`PredictionServer.handle_stream` and the doc-sync test both walk
+#: this tuple, so an undocumented op fails CI.
+SUPPORTED_OPS = ("predict", "campaign")
 
 #: ``config`` keys a request may override (numerics-affecting knobs only;
 #: engine knobs stay under server control).
@@ -498,7 +523,9 @@ class PredictionServer:
             )
         except RequestError as exc:
             self.metrics.errors += 1
-            return {"id": request_id, "ok": False, "error": str(exc)}
+            return {
+                "id": request_id, "ok": False, "error": str(exc), "error_kind": "request",
+            }
         pending = _Pending(
             request=request,
             future=asyncio.get_running_loop().create_future(),
@@ -509,7 +536,12 @@ class PredictionServer:
             prediction = await pending.future
         except Exception as exc:  # pipeline errors are per-batch, not fatal
             self.metrics.errors += 1
-            return {"id": request_id, "ok": False, "error": str(exc)}
+            # error_kind tells transports whose fault this was: "request"
+            # errors are the client's (HTTP 400), "internal" the server's
+            # (HTTP 500) — retry policies must see the difference.
+            return {
+                "id": request_id, "ok": False, "error": str(exc), "error_kind": "internal",
+            }
         self.metrics.record_latency(time.perf_counter() - pending.enqueued_at)
         return {"id": request_id, "ok": True, "result": result_payload(prediction)}
 
@@ -544,7 +576,9 @@ class PredictionServer:
             )
         except RequestError as exc:
             self.metrics.errors += 1
-            return {"id": request_id, "ok": False, "error": str(exc)}
+            return {
+                "id": request_id, "ok": False, "error": str(exc), "error_kind": "request",
+            }
         self.metrics.campaigns += 1
         started = time.perf_counter()
         queue: "asyncio.Queue[tuple[str, Any]]" = asyncio.Queue()
@@ -592,6 +626,7 @@ class PredictionServer:
                         "id": request_id,
                         "ok": False,
                         "error": "campaign abandoned: client disconnected",
+                        "error_kind": "disconnect",
                     }
                 elif kind == "error":
                     self.metrics.errors += 1
@@ -599,6 +634,7 @@ class PredictionServer:
                         "id": request_id,
                         "ok": False,
                         "error": f"campaign failed: {value}",
+                        "error_kind": "internal",
                     }
                 else:  # done
                     result = value
@@ -647,24 +683,31 @@ class PredictionServer:
                     self.metrics.requests += 1
                     self.metrics.errors += 1
                     await responses.write(
-                        seq, {"id": None, "ok": False, "error": f"bad JSON: {exc}"}
+                        seq,
+                        {
+                            "id": None, "ok": False,
+                            "error": f"bad JSON: {exc}", "error_kind": "request",
+                        },
                     )
                     return
                 op = payload.get("op", "predict") if isinstance(payload, Mapping) else "predict"
-                if op == "campaign":
-                    final = await self.submit_campaign(
-                        payload, on_row=lambda doc: responses.write(seq, doc)
-                    )
-                    await responses.write(seq, final)
-                elif op == "predict":
-                    await responses.write(seq, await self.submit(payload))
-                else:
+                if op not in SUPPORTED_OPS:
                     self.metrics.requests += 1
                     self.metrics.errors += 1
                     await responses.write(
                         seq,
-                        {"id": payload.get("id"), "ok": False, "error": f"unknown op: {op!r}"},
+                        {
+                            "id": payload.get("id"), "ok": False,
+                            "error": f"unknown op: {op!r}", "error_kind": "request",
+                        },
                     )
+                elif op == "campaign":
+                    final = await self.submit_campaign(
+                        payload, on_row=lambda doc: responses.write(seq, doc)
+                    )
+                    await responses.write(seq, final)
+                else:  # predict
+                    await responses.write(seq, await self.submit(payload))
             except (ConnectionResetError, BrokenPipeError):
                 pass  # client went away mid-response; reader sees EOF next
             finally:

@@ -32,6 +32,22 @@ Layout under the store root (one subdirectory per cache region)::
       extrapolation/12/1234....entry
       service/...
 
+Concurrency / crash-safety invariants of this module:
+
+* **Flock ledger.** Writers serialise byte accounting through an advisory
+  ``flock`` on ``<root>/.lock`` holding the shared byte ledger; each put is
+  an O(1) ledger update, and only a missing/corrupt ledger or crossing the
+  byte budget triggers a directory rescan (+ LRU eviction).  N processes
+  writing one cache dir neither corrupt entries nor exceed the budget once
+  they settle.
+* **Torn-write immunity.** Every entry is written to a temp file in its
+  final directory and published with ``os.replace``; readers see either the
+  complete entry or none.  A crash mid-write leaves at most a temp file the
+  next rescan sweeps up — never a half entry that deserialises.
+* **Version fencing.** Entries embed :data:`SCHEMA_VERSION`; any other
+  version reads as a miss, so stale formats from older code are never
+  deserialised into current objects.
+
 A store is attached to cache regions with
 :func:`repro.engine.cache.attach_disk_tier`, configured through
 ``EstimaConfig(cache_dir=...)`` / ``ESTIMA_CACHE_DIR`` (byte budget via

@@ -40,8 +40,9 @@ def prediction_payload(prediction: ScalabilityPrediction) -> dict:
     """The machine-readable document of one ESTIMA prediction.
 
     This is the shared response schema of ``estima predict --json`` and the
-    ``estima serve`` front-end: both emit exactly this structure, so clients
-    of one consume the other unchanged.
+    ``estima serve`` front-ends (the NDJSON ``predict`` op and the HTTP
+    gateway's ``POST /v1/predict`` / ``/v1/predict_batch`` routes): all emit
+    exactly this structure, so clients of one consume the others unchanged.
     """
     return {
         "workload": prediction.workload,
@@ -85,10 +86,11 @@ def campaign_row_payload(row: "CampaignRow") -> dict:
     """The machine-readable document of one campaign row.
 
     This is the shared row schema of ``estima campaign --json`` (each element
-    of ``"rows"``) and the serve protocol's streamed ``campaign`` op (the
-    ``"row"`` field of each progress line) — both build rows through this
-    helper, so streamed rows are bit-identical to batch output by
-    construction (and pinned by tests).
+    of ``"rows"``) and the serve protocol's streamed ``campaign`` op — the
+    ``"row"`` field of each NDJSON progress line and of each ``POST
+    /v1/campaign`` HTTP chunk — all build rows through this helper, so
+    streamed rows are bit-identical to batch output by construction (and
+    pinned by tests).
     """
     return {
         "workload": row.workload,

@@ -1,0 +1,615 @@
+"""Tests for the HTTP/JSON gateway (`repro.engine.gateway`).
+
+Pinned contracts:
+
+* **routes** — `estima serve --http` serves predict / predict_batch /
+  campaign / healthz / metrics with the documented status codes;
+* **determinism** — predictions served over HTTP are bit-identical to a
+  standalone `EstimaPredictor`, and campaign rows streamed as HTTP chunks
+  are bit-identical to batch `estima campaign --json` output;
+* **one stats source** — `GET /metrics` and the `--stats` snapshot
+  (`HttpGateway.stats()`) report identical counter values;
+* **worker pool** — `--workers 4` pre-forks HTTP workers behind one
+  listening socket; concurrent keep-alive clients observe no drops,
+  duplicates or reorders and the merged counters add up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.core import EstimaConfig, EstimaPredictor
+from repro.engine.gateway import (
+    ROUTES,
+    STATUS_REASONS,
+    HttpGateway,
+    flatten_stats,
+    metrics_text,
+    serve_http,
+)
+from repro.engine.pool import WorkerPool
+from repro.engine.server import PredictionServer
+
+CAMPAIGN_CORE_COUNTS = [1, 2, 3, 4, 6, 8, 10, 12, 16, 20]
+CAMPAIGN_TARGETS = {"half": 16, "full": 20}
+
+
+@pytest.fixture(scope="module")
+def measured(xeon20_simulator):
+    from repro.workloads import get_workload
+
+    sweep = xeon20_simulator.sweep(
+        get_workload("genome"), core_counts=[1, 2, 3, 4, 6, 8, 10]
+    )
+    return sweep.restrict_to(10)
+
+
+@pytest.fixture(scope="module")
+def direct(measured):
+    """Reference predictions straight from a per-request predictor."""
+    return {
+        target: EstimaPredictor(EstimaConfig()).predict(measured, target_cores=target)
+        for target in (16, 20)
+    }
+
+
+def _campaign_request(request_id):
+    return {
+        "id": request_id,
+        "machine": "xeon20",
+        "measure_cores": 10,
+        "targets": CAMPAIGN_TARGETS,
+        "workloads": ["genome"],
+        "core_counts": CAMPAIGN_CORE_COUNTS,
+    }
+
+
+class _HttpServer:
+    """In-process asyncio HTTP gateway driven from a background thread."""
+
+    def __init__(self, gateway: HttpGateway) -> None:
+        self.gateway = gateway
+        self.address: tuple[str, int] | None = None
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def body():
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            task = self._loop.create_task(
+                serve_http(
+                    self.gateway,
+                    "127.0.0.1",
+                    0,
+                    on_listening=lambda addr: (
+                        setattr(self, "address", addr),
+                        self._ready.set(),
+                    ),
+                )
+            )
+            await self._stop.wait()
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            await self.gateway.server.stop()
+
+        asyncio.run(body())
+
+    def __enter__(self) -> "_HttpServer":
+        self._thread.start()
+        assert self._ready.wait(timeout=30), "HTTP server did not come up"
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._loop is not None and self._stop is not None
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+
+def _request(address, method, path, body=None, timeout=600):
+    """One HTTP request on a fresh connection; returns (status, headers, raw body)."""
+    conn = http.client.HTTPConnection(*address, timeout=timeout)
+    try:
+        conn.request(method, path, body=None if body is None else json.dumps(body))
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+class TestRoutes:
+    def test_healthz(self):
+        with _HttpServer(HttpGateway(PredictionServer(EstimaConfig()))) as http_server:
+            status, _, body = _request(http_server.address, "GET", "/healthz")
+        assert status == 200
+        assert json.loads(body) == {"ok": True}
+
+    def test_predict_bit_identical_and_keep_alive(self, measured, direct):
+        """Predictions over HTTP match the per-request predictor bit for bit,
+        and several requests ride one keep-alive connection."""
+        gateway = HttpGateway(PredictionServer(EstimaConfig(), batch_window_ms=20.0))
+        with _HttpServer(gateway) as http_server:
+            conn = http.client.HTTPConnection(*http_server.address, timeout=600)
+            try:
+                for i, target in enumerate((16, 20)):
+                    conn.request(
+                        "POST",
+                        "/v1/predict",
+                        body=json.dumps(
+                            {
+                                "id": f"r{i}",
+                                "target_cores": target,
+                                "measurements": measured.to_dict(),
+                            }
+                        ),
+                    )
+                    response = conn.getresponse()
+                    document = json.loads(response.read())
+                    assert response.status == 200 and document["ok"]
+                    assert document["id"] == f"r{i}"
+                    assert document["result"]["predicted_times_s"] == [
+                        float(t) for t in direct[target].predicted_times
+                    ]
+            finally:
+                conn.close()
+
+    def test_predict_batch_order_and_multi_status(self, measured, direct):
+        payload = {
+            "requests": [
+                {"id": "b0", "target_cores": 20, "measurements": measured.to_dict()},
+                {"id": "b1", "target_cores": 16, "measurements": measured.to_dict()},
+                {"id": "bad", "target_cores": 5},  # no measurement source
+            ]
+        }
+        with _HttpServer(HttpGateway(PredictionServer(EstimaConfig()))) as http_server:
+            status, _, body = _request(
+                http_server.address, "POST", "/v1/predict_batch", payload
+            )
+        assert status == 200
+        document = json.loads(body)
+        assert document["ok"] is False  # multi-status: one element failed
+        assert [r["id"] for r in document["responses"]] == ["b0", "b1", "bad"]
+        assert [r["ok"] for r in document["responses"]] == [True, True, False]
+        for response, target in zip(document["responses"], (20, 16)):
+            assert response["result"]["predicted_times_s"] == [
+                float(t) for t in direct[target].predicted_times
+            ]
+
+    def test_error_statuses(self):
+        with _HttpServer(HttpGateway(PredictionServer(EstimaConfig()))) as http_server:
+            address = http_server.address
+            status, _, body = _request(address, "GET", "/nope")
+            assert status == 404 and not json.loads(body)["ok"]
+            status, headers, body = _request(address, "GET", "/v1/predict")
+            assert status == 405 and not json.loads(body)["ok"]
+            assert "POST" in headers.get("Allow", "")
+            status, _, body = _request(address, "POST", "/v1/predict", timeout=60)
+            # http.client sends Content-Length: 0 for an empty body -> bad JSON
+            assert status == 400 and "bad JSON" in json.loads(body)["error"]
+            status, _, body = _request(
+                address, "POST", "/v1/predict", {"op": "campaign", "id": 9}
+            )
+            assert status == 400 and "/v1/campaign" in json.loads(body)["error"]
+            status, _, body = _request(address, "POST", "/v1/predict", {"id": 1})
+            assert status == 400 and "target_cores" in json.loads(body)["error"]
+
+    def test_framing_errors_411_and_400(self):
+        with _HttpServer(HttpGateway(PredictionServer(EstimaConfig()))) as http_server:
+            sock = socket.create_connection(http_server.address, timeout=60)
+            try:
+                sock.sendall(b"POST /v1/predict HTTP/1.1\r\nHost: x\r\n\r\n")
+                reply = sock.recv(4096)
+                assert reply.startswith(b"HTTP/1.1 411 ")
+            finally:
+                sock.close()
+            sock = socket.create_connection(http_server.address, timeout=60)
+            try:
+                sock.sendall(b"GARBAGE\r\n")
+                reply = sock.recv(4096)
+                assert reply.startswith(b"HTTP/1.1 400 ")
+            finally:
+                sock.close()
+
+    def test_framing_errors_chunked_body_and_bad_length(self):
+        with _HttpServer(HttpGateway(PredictionServer(EstimaConfig()))) as http_server:
+            sock = socket.create_connection(http_server.address, timeout=60)
+            try:
+                sock.sendall(
+                    b"POST /v1/predict HTTP/1.1\r\nHost: x\r\n"
+                    b"Transfer-Encoding: chunked\r\n\r\n"
+                )
+                assert sock.recv(4096).startswith(b"HTTP/1.1 411 ")
+            finally:
+                sock.close()
+            sock = socket.create_connection(http_server.address, timeout=60)
+            try:
+                sock.sendall(
+                    b"POST /v1/predict HTTP/1.1\r\nHost: x\r\n"
+                    b"Content-Length: banana\r\n\r\n"
+                )
+                assert sock.recv(4096).startswith(b"HTTP/1.1 400 ")
+            finally:
+                sock.close()
+
+    def test_get_with_body_keeps_connection_in_sync(self):
+        """A GET carrying Content-Length is odd but legal: its body must be
+        consumed, or the next keep-alive request reads garbage."""
+        with _HttpServer(HttpGateway(PredictionServer(EstimaConfig()))) as http_server:
+            conn = http.client.HTTPConnection(*http_server.address, timeout=60)
+            try:
+                conn.request("GET", "/healthz", body='{"ignored": true}')
+                response = conn.getresponse()
+                assert response.status == 200 and json.loads(response.read())["ok"]
+                conn.request("GET", "/healthz")  # same connection, must not 400
+                response = conn.getresponse()
+                assert response.status == 200 and json.loads(response.read())["ok"]
+            finally:
+                conn.close()
+
+    def test_pipeline_failure_maps_to_500(self, measured):
+        """Server-side failures are 5xx, not 400: retry policies must see
+        the difference from a genuinely bad request."""
+        gateway = HttpGateway(PredictionServer(EstimaConfig()))
+
+        def exploding_predict_batch(requests):
+            raise RuntimeError("solver melted")
+
+        gateway.server.service.predict_batch = exploding_predict_batch
+        with _HttpServer(gateway) as http_server:
+            status, _, body = _request(
+                http_server.address, "POST", "/v1/predict",
+                {"id": 1, "target_cores": 16, "measurements": measured.to_dict()},
+            )
+        document = json.loads(body)
+        assert status == 500
+        assert document["error_kind"] == "internal"
+        assert "solver melted" in document["error"]
+
+    def test_connection_close_honoured(self):
+        with _HttpServer(HttpGateway(PredictionServer(EstimaConfig()))) as http_server:
+            sock = socket.create_connection(http_server.address, timeout=60)
+            try:
+                sock.sendall(
+                    b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+                )
+                reply = b""
+                while True:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break  # server closed, as requested
+                    reply = reply + chunk
+                assert reply.startswith(b"HTTP/1.1 200 ")
+                assert b"Connection: close" in reply
+            finally:
+                sock.close()
+
+    def test_handler_crash_returns_500_and_closes(self):
+        gateway = HttpGateway(PredictionServer(EstimaConfig()))
+
+        async def boom(body):
+            raise RuntimeError("handler exploded")
+
+        gateway._predict = boom
+        with _HttpServer(gateway) as http_server:
+            status, headers, body = _request(
+                http_server.address, "POST", "/v1/predict", {"id": 1}, timeout=60
+            )
+        assert status == 500
+        assert "handler exploded" in json.loads(body)["error"]
+        assert headers.get("Connection") == "close"
+
+    def test_oversized_body_413(self):
+        gateway = HttpGateway(PredictionServer(EstimaConfig()), max_body_bytes=64)
+        with _HttpServer(gateway) as http_server:
+            status, _, body = _request(
+                http_server.address, "POST", "/v1/predict",
+                {"id": 1, "padding": "x" * 200}, timeout=60,
+            )
+        assert status == 413
+        assert "exceeds" in json.loads(body)["error"]
+
+    def test_routes_registry_matches_dispatch(self):
+        """Every registered route answers something other than 404."""
+        with _HttpServer(HttpGateway(PredictionServer(EstimaConfig()))) as http_server:
+            for method, path in ROUTES:
+                if method == "GET":
+                    status, _, _ = _request(http_server.address, method, path, timeout=60)
+                else:
+                    status, _, _ = _request(
+                        http_server.address, method, path, {"probe": True}, timeout=60
+                    )
+                assert status != 404, f"{method} {path} is registered but unrouted"
+                assert status in STATUS_REASONS
+
+
+class TestCampaignOverHttp:
+    """Satellite pin: HTTP-chunked campaign rows == `estima campaign --json`."""
+
+    @pytest.fixture(scope="class")
+    def batch(self):
+        """The batch reference, straight from the CLI (run once per class)."""
+        import contextlib
+        import io
+
+        stdout = io.StringIO()
+        with contextlib.redirect_stdout(stdout):
+            code = main(
+                [
+                    "campaign",
+                    "--machine", "xeon20",
+                    "--measure-cores", "10",
+                    "--workloads", "genome",
+                    "--core-counts", ",".join(str(c) for c in CAMPAIGN_CORE_COUNTS),
+                    "--targets", "half=16,full=20",
+                    "--json",
+                ]
+            )
+        assert code == 0
+        return json.loads(stdout.getvalue())
+
+    def test_streamed_chunks_bit_identical_to_batch_json(self, batch):
+        with _HttpServer(HttpGateway(PredictionServer(EstimaConfig()))) as http_server:
+            conn = http.client.HTTPConnection(*http_server.address, timeout=600)
+            try:
+                conn.request(
+                    "POST", "/v1/campaign", body=json.dumps(_campaign_request("c"))
+                )
+                response = conn.getresponse()
+                assert response.status == 200
+                assert response.getheader("Content-Type") == "application/x-ndjson"
+                documents = [
+                    json.loads(line)
+                    for line in response.read().decode().strip().splitlines()
+                ]
+                # The connection survives the chunked stream: keep-alive works.
+                conn.request("GET", "/healthz")
+                assert conn.getresponse().status == 200
+            finally:
+                conn.close()
+        *rows, final = documents
+        assert final["ok"] and final["done"] and final["rows"] == 1
+        assert [r["row"]["workload"] for r in rows] == ["genome"]
+        for streamed, batch_row in zip(rows, batch["rows"]):
+            assert json.dumps(streamed["row"], sort_keys=True) == json.dumps(
+                batch_row, sort_keys=True
+            )
+        assert json.dumps(final["summary"]["rows"], sort_keys=True) == json.dumps(
+            batch["rows"], sort_keys=True
+        )
+        assert json.dumps(final["summary"]["aggregates"], sort_keys=True) == json.dumps(
+            batch["aggregates"], sort_keys=True
+        )
+
+    def test_invalid_campaign_rejected_before_streaming(self):
+        with _HttpServer(HttpGateway(PredictionServer(EstimaConfig()))) as http_server:
+            status, headers, body = _request(
+                http_server.address, "POST", "/v1/campaign",
+                {"id": "x", "machine": "not-a-machine"}, timeout=60,
+            )
+        assert status == 400  # a real status line, not a 200 with an error inside
+        assert headers.get("Transfer-Encoding") != "chunked"
+        assert not json.loads(body)["ok"]
+
+
+class TestMetricsStatsIdentity:
+    """Satellite fix: GET /metrics and the --stats snapshot never disagree."""
+
+    #: Derived from wall-clock elapsed time, so any two snapshots differ.
+    _TIME_DERIVED = {"estima_server_throughput_rps"}
+
+    @staticmethod
+    def _parse_metrics(text: str) -> dict[str, float]:
+        parsed = {}
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                name, value = line.rsplit(" ", 1)
+                parsed[name] = float(value)
+        return parsed
+
+    def test_metrics_equal_stats_snapshot(self, measured):
+        gateway = HttpGateway(PredictionServer(EstimaConfig()))
+        with _HttpServer(gateway) as http_server:
+            address = http_server.address
+            _request(address, "GET", "/healthz", timeout=60)
+            _request(
+                address, "POST", "/v1/predict",
+                {"id": 1, "target_cores": 16, "measurements": measured.to_dict()},
+            )
+            _request(address, "POST", "/v1/predict", {"id": 2}, timeout=60)  # error
+            status, _, body = _request(address, "GET", "/metrics", timeout=60)
+            assert status == 200
+            # /metrics counts itself before rendering, so a snapshot taken
+            # right after must match the exposition exactly (identical
+            # counters from one assembly: HttpGateway.stats + flatten_stats).
+            snapshot = gateway.stats()
+        parsed = self._parse_metrics(body.decode())
+        flattened = flatten_stats(snapshot)
+        assert flattened  # non-vacuous: counters exist
+        for name, value in flattened.items():
+            if name in self._TIME_DERIVED:
+                assert name in parsed
+                continue
+            assert parsed.get(name) == value, f"{name}: /metrics {parsed.get(name)} != stats {value}"
+        # Nothing in the exposition is missing from the snapshot either.
+        assert set(parsed) == set(flattened)
+        # Spot-check semantics, not just equality.
+        assert parsed["estima_server_requests"] == 2.0
+        assert parsed["estima_server_errors"] == 1.0
+        assert parsed["estima_http_requests_by_route_get_metrics"] == 1.0
+        assert parsed["estima_http_responses_by_status_400"] == 1.0
+
+    def test_metrics_text_is_valid_prometheus(self):
+        text = metrics_text({"server": {"requests": 3, "nested": {"max_x": 1.5}}})
+        lines = [line for line in text.splitlines() if line]
+        assert "# TYPE estima_server_requests gauge" in lines
+        assert "estima_server_requests 3.0" in lines
+        assert "estima_server_nested_max_x 1.5" in lines
+        for line in lines:
+            if not line.startswith("#"):
+                name, value = line.rsplit(" ", 1)
+                assert name.replace("_", "").isalnum()
+                float(value)  # every sample parses
+
+
+class TestHttpWorkerPool:
+    def test_multi_client_stress_4_workers(self, measured, direct):
+        """Acceptance pin: `--workers 4` serves concurrent HTTP clients with
+        no drops, duplicates or reorders, and merged counters add up."""
+        pool = WorkerPool(
+            EstimaConfig(), workers=4, tcp="127.0.0.1:0",
+            protocol="http", batch_window_ms=2.0,
+        ).start()
+        measured_doc = measured.to_dict()
+        n_clients = 6
+        campaign_clients = {0, 1}
+        results: dict[int, list[tuple[str, int, dict]]] = {}
+        errors: list[BaseException] = []
+
+        def run_client(client: int) -> None:
+            try:
+                observed: list[tuple[str, int, dict]] = []
+                conn = http.client.HTTPConnection(*pool.address, timeout=600)
+                try:
+                    for i, target in enumerate((16, 20)):
+                        conn.request(
+                            "POST", "/v1/predict",
+                            body=json.dumps(
+                                {
+                                    "id": f"c{client}-p{i}",
+                                    "target_cores": target,
+                                    "measurements": measured_doc,
+                                }
+                            ),
+                        )
+                        response = conn.getresponse()
+                        observed.append(
+                            ("predict", response.status, json.loads(response.read()))
+                        )
+                        if i == 0 and client in campaign_clients:
+                            conn.request(
+                                "POST", "/v1/campaign",
+                                body=json.dumps(_campaign_request(f"c{client}-camp")),
+                            )
+                            response = conn.getresponse()
+                            documents = [
+                                json.loads(line)
+                                for line in response.read().decode().strip().splitlines()
+                            ]
+                            observed.append(("campaign", response.status, documents))
+                finally:
+                    conn.close()
+                results[client] = observed
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run_client, args=(client,))
+            for client in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        try:
+            assert not errors, errors
+            assert set(results) == set(range(n_clients))
+            for client, observed in results.items():
+                kinds = [kind for kind, _, _ in observed]
+                expected_kinds = (
+                    ["predict", "campaign", "predict"]
+                    if client in campaign_clients
+                    else ["predict", "predict"]
+                )
+                assert kinds == expected_kinds, f"client {client}"
+                predicts = [entry for entry in observed if entry[0] == "predict"]
+                for (kind, status, document), target in zip(predicts, (16, 20)):
+                    assert status == 200 and document["ok"], f"client {client}"
+                    # Workers fork with no shared mutable state (no disk
+                    # tier here), so served numbers stay bit-identical to
+                    # the per-request predictor even across processes.
+                    assert document["result"]["predicted_times_s"] == [
+                        float(t) for t in direct[target].predicted_times
+                    ], f"client {client}"
+                if client in campaign_clients:
+                    _, status, documents = observed[1]
+                    assert status == 200
+                    *rows, final = documents
+                    assert [r["row"]["workload"] for r in rows] == ["genome"]
+                    assert final["done"] and final["rows"] == 1, f"client {client}"
+
+            stats = pool.stats()
+            merged = stats["merged"]
+            n_predicts = 2 * n_clients
+            n_campaigns = len(campaign_clients)
+            assert merged["server"]["requests"] == n_predicts + n_campaigns
+            assert merged["server"]["responses"] == n_predicts + n_campaigns
+            assert merged["server"]["errors"] == 0
+            assert merged["http"]["requests_by_route"]["POST /v1/predict"] == n_predicts
+            assert merged["http"]["requests_by_route"]["POST /v1/campaign"] == n_campaigns
+            assert merged["http"]["responses_by_status"]["200"] == n_predicts + n_campaigns
+            assert len(stats["per_worker"]) == 4
+        finally:
+            pool.stop()
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ValueError, match="protocol"):
+            WorkerPool(EstimaConfig(), workers=1, tcp="127.0.0.1:0", protocol="gopher")
+
+
+class TestServeCliHttp:
+    def test_cli_http_worker_pool_subprocess(self):
+        """End-to-end: `estima serve --http ... --workers 2 --stats`."""
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys as _sys
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parent.parent.parent / "src"
+        proc = subprocess.Popen(
+            [
+                _sys.executable, "-m", "repro.cli", "serve",
+                "--http", "127.0.0.1:0", "--workers", "2", "--stats",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(src)},
+        )
+        try:
+            banner = proc.stderr.readline()
+            match = re.search(r"serving on http 127\.0\.0\.1:(\d+) with 2 workers", banner)
+            assert match, banner
+            address = ("127.0.0.1", int(match.group(1)))
+            status, _, body = _request(address, "GET", "/healthz", timeout=120)
+            assert status == 200 and json.loads(body)["ok"]
+            status, _, body = _request(
+                address, "POST", "/v1/predict", {"id": 3, "target_cores": 5}, timeout=120
+            )
+            assert status == 400 and not json.loads(body)["ok"]
+            status, _, body = _request(address, "GET", "/metrics", timeout=120)
+            assert status == 200 and b"estima_server_requests" in body
+            proc.send_signal(signal.SIGINT)
+            _, stderr_rest = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, stderr_rest
+        summary = json.loads(stderr_rest.strip().splitlines()[-1])
+        assert summary["workers"] == 2
+        assert summary["merged"]["server"]["requests"] >= 1
+        assert summary["merged"]["http"]["requests_by_route"]["GET /healthz"] == 1

@@ -158,6 +158,7 @@ class TestMicroBatchedParity:
             "id": 9,
             "ok": False,
             "error": "request needs either 'measurements' or both 'workload' and 'machine'",
+            "error_kind": "request",
         }
 
     def test_pipeline_error_is_reported_per_request(self, measured):

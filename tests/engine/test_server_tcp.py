@@ -390,6 +390,7 @@ class TestServeCliTcp:
                 "127.0.0.1:0",
                 "--workers",
                 "2",
+                "--stats",
             ],
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,

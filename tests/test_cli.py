@@ -380,6 +380,51 @@ class TestServeConfigValidation:
         assert main(["serve", "--tcp", "127.0.0.1:0", "--socket", "/tmp/x.sock"]) == 2
         assert "at most one" in capsys.readouterr().err
 
+    def test_cli_rejects_http_plus_tcp(self, capsys):
+        assert main(["serve", "--http", "127.0.0.1:0", "--tcp", "127.0.0.1:0"]) == 2
+        assert "at most one" in capsys.readouterr().err
+
+
+class TestServeHttpConfigValidation:
+    """Satellite: malformed ESTIMA_SERVE_HTTP / --http values fail fast."""
+
+    def test_malformed_http_rejected_at_config(self):
+        from repro.core import EstimaConfig
+
+        with pytest.raises(ValueError, match="serve_http"):
+            EstimaConfig(serve_http="nonsense")
+        with pytest.raises(ValueError, match="port"):
+            EstimaConfig(serve_http="127.0.0.1:notaport")
+        with pytest.raises(ValueError, match="0..65535"):
+            EstimaConfig(serve_http="127.0.0.1:70000")
+
+    def test_valid_http_accepted_at_config(self):
+        from repro.core import EstimaConfig
+
+        EstimaConfig(serve_http="0.0.0.0:7979", serve_workers=4)  # must not raise
+
+    def test_malformed_env_serve_http_rejected_at_config(self, monkeypatch):
+        from repro.core import EstimaConfig
+
+        monkeypatch.setenv("ESTIMA_SERVE_HTTP", "no-port-here")
+        with pytest.raises(ValueError, match="ESTIMA_SERVE_HTTP"):
+            EstimaConfig()
+
+    def test_valid_env_serve_http_accepted(self, monkeypatch):
+        from repro.core import EstimaConfig
+
+        monkeypatch.setenv("ESTIMA_SERVE_HTTP", "127.0.0.1:7979")
+        EstimaConfig()  # must not raise
+
+    def test_cli_rejects_malformed_http(self, capsys):
+        assert main(["serve", "--http", "nonsense"]) == 2
+        assert "invalid serve configuration" in capsys.readouterr().err
+
+    def test_cli_rejects_malformed_env_http(self, monkeypatch, capsys):
+        monkeypatch.setenv("ESTIMA_SERVE_HTTP", "nonsense")
+        assert main(["serve"]) == 2
+        assert "ESTIMA_SERVE_HTTP" in capsys.readouterr().err
+
 
 class TestServeCommand:
     def test_serve_round_trip_over_stdio_subprocess(self, tmp_path):
@@ -400,7 +445,7 @@ class TestServeCommand:
         }
         src = Path(__file__).resolve().parent.parent / "src"
         proc = subprocess.run(
-            [_sys.executable, "-m", "repro.cli", "serve"],
+            [_sys.executable, "-m", "repro.cli", "serve", "--stats"],
             input=json.dumps(request) + "\n",
             capture_output=True,
             text=True,
@@ -411,6 +456,6 @@ class TestServeCommand:
         response = json.loads(proc.stdout.strip().splitlines()[-1])
         assert response["id"] == 1 and response["ok"]
         assert len(response["result"]["predicted_times_s"]) == 20
-        # the shutdown report on stderr is machine-readable
+        # --stats: the shutdown report on stderr is machine-readable
         stats = json.loads(proc.stderr.strip().splitlines()[-1])
         assert stats["server"]["responses"] == 1
