@@ -372,6 +372,151 @@ def bench_serving_http_overhead(benchmark):
           f"(HTTP-served == TCP-served: True)")
 
 
+def _spawn_tcp_backend(env: dict) -> "tuple[object, tuple[str, int]]":
+    """Start ``estima serve --tcp 127.0.0.1:0`` and parse its stderr banner."""
+    import re
+    import subprocess
+    import sys
+
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--tcp", "127.0.0.1:0", "--batch-window-ms", "5",
+        ],
+        stdin=subprocess.DEVNULL,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    banner = proc.stderr.readline()  # "serving on tcp HOST:PORT"
+    match = re.search(r"serving on tcp ([\d.]+):(\d+)", banner)
+    assert match, f"backend did not come up (stderr: {banner!r})"
+    return proc, (match.group(1), int(match.group(2)))
+
+
+def bench_router_scaling(benchmark):
+    """1-vs-3-backend cluster router: the scale-out serving payoff.
+
+    The same burst of distinct predict requests is pushed through
+    ``Router`` (the ``estima route`` front-end) twice — once over a single
+    ``estima serve --tcp`` backend process, once sharded across three — and
+    the response documents are asserted bit-identical between the two
+    topologies (the cluster layer's core guarantee: sharding never changes
+    a number).  On a >= 4-core machine the 3-backend fleet must reach
+    >= 2x the single-backend throughput.
+    """
+    from repro.engine.cluster.router import Router, serve_route
+
+    env = {k: v for k, v in os.environ.items() if not k.startswith("ESTIMA_")}
+    src = os.path.dirname(os.path.dirname(os.path.abspath(__file__))) + "/src"
+    env["PYTHONPATH"] = src
+
+    # Distinct (workload, target) pairs: enough keys that the consistent
+    # hash spreads load across a 3-node ring.
+    workloads = (
+        "lock_free_ht", "genome", "intruder", "kmeans", "yada", "blackscholes",
+        "raytrace", "streamcluster", "ssca2", "labyrinth", "vacation_high", "swaptions",
+    )
+    payloads = [
+        {
+            "id": f"{name}@{target}",
+            "workload": name,
+            "machine": "xeon20",
+            "measure_cores": 10,
+            "target_cores": target,
+        }
+        for name in workloads
+        for target in (16, 20)
+    ]
+    n_clients = 6
+
+    def run_topology(n_backends: int) -> tuple[list[dict], float, dict]:
+        procs, addresses = [], []
+        try:
+            for _ in range(n_backends):
+                proc, address = _spawn_tcp_backend(env)
+                procs.append(proc)
+                addresses.append(f"{address[0]}:{address[1]}")
+            router = Router(tuple(addresses), config=EstimaConfig(), timeout=600.0)
+            try:
+                box = _ThreadedAsyncServer(
+                    lambda on_listening: serve_route(
+                        router, "127.0.0.1", 0, on_listening=on_listening
+                    )
+                )
+                with box:
+                    slices = [payloads[i::n_clients] for i in range(n_clients)]
+                    responses: list[list[dict]] = [[] for _ in range(n_clients)]
+                    start = time.perf_counter()
+
+                    def run_client(index: int) -> None:
+                        responses[index] = _http_client_burst(box.address, slices[index])
+
+                    threads = [
+                        threading.Thread(target=run_client, args=(index,))
+                        for index in range(n_clients)
+                    ]
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads:
+                        thread.join()
+                    wall = time.perf_counter() - start
+                stats = router.stats()
+            finally:
+                router.close()
+        finally:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                proc.wait(timeout=60)
+        flat = [response for per_client in responses for response in per_client]
+        return flat, wall, stats
+
+    def pipeline():
+        single_responses, single_wall, single_stats = run_topology(1)
+        triple_responses, triple_wall, triple_stats = run_topology(3)
+        return (
+            single_responses, single_wall, single_stats,
+            triple_responses, triple_wall, triple_stats,
+        )
+
+    (
+        single_responses, single_wall, single_stats,
+        triple_responses, triple_wall, triple_stats,
+    ) = run_once(benchmark, pipeline)
+
+    # Sharding changed nothing: the full response documents agree by id.
+    assert all(r["ok"] for r in single_responses)
+    assert all(r["ok"] for r in triple_responses)
+    single_by_id = {r["id"]: r for r in single_responses}
+    triple_by_id = {r["id"]: r for r in triple_responses}
+    assert set(single_by_id) == set(triple_by_id) == {p["id"] for p in payloads}
+    for request_id, single_doc in single_by_id.items():
+        assert json.dumps(single_doc, sort_keys=True) == json.dumps(
+            triple_by_id[request_id], sort_keys=True
+        ), f"3-backend response diverged from 1-backend for {request_id}"
+
+    n = len(payloads)
+    speedup = single_wall / max(triple_wall, 1e-9)
+    per_backend = triple_stats["cluster"]["per_backend"]
+    shares = sorted(counts["requests"] for counts in per_backend.values())
+    print()
+    print(f"# Router scaling: {n} distinct predict requests over {n_clients} "
+          f"keep-alive connections (machine has {os.cpu_count()} CPUs)")
+    print(f"1 backend : {single_wall:.2f} s  ({n / single_wall:.2f} req/s)")
+    print(f"3 backends: {triple_wall:.2f} s  ({n / triple_wall:.2f} req/s)")
+    print(f"speedup   : {speedup:.2f}x  (ring shares: {shares})")
+    print("3-backend responses == 1-backend responses: True")
+    assert single_stats["cluster"]["backends_up"] == 1
+    assert triple_stats["cluster"]["backends_up"] == 3
+    assert sum(shares) >= n  # every request went through the ring
+    if (os.cpu_count() or 1) >= 4:
+        # The acceptance criterion; meaningless on boxes that cannot run
+        # three backend processes in parallel.
+        assert speedup >= 2.0, f"3-backend fleet only reached {speedup:.2f}x"
+
+
 def bench_serving_warm_disk_cache(benchmark, tmp_path_factory):
     cache_dir = tmp_path_factory.mktemp("estima-disk-tier")
     config = EstimaConfig(use_fit_cache=True, cache_dir=str(cache_dir))

@@ -35,10 +35,23 @@ simulation substrate:
     request streams Table-4 style campaign rows over the same protocol as
     they complete.
 
-``estima cache stats|clear|warm``
+``estima route --http HOST:PORT --backends host1:port,host2:port``
+    Cluster router: serve the gateway's exact HTTP surface but shard every
+    predict/batch/campaign request across downstream ``estima serve``
+    backends by consistent-hash digest (same request -> same backend -> hot
+    shard caches), with per-host retries, health tracking and ring failover;
+    ``GET /healthz`` probes the backends, ``GET /metrics`` aggregates router
+    and per-backend counters.  ``ESTIMA_ROUTE_BACKENDS`` provides the
+    backend-list default.
+
+``estima cache stats|clear|warm|export|import``
     Manage the persistent disk tier of the fit/extrapolation caches
     (``--cache-dir`` / ``ESTIMA_CACHE_DIR``): show per-region entry counts,
     wipe it, or pre-populate it for a workload set so later runs start warm.
+    ``export --output fits.tar.gz`` packs the tier into a schema-versioned
+    archive and ``import --input fits.tar.gz`` loads one (digest-verified;
+    with ``--ring-backends``/``--ring-node`` only this shard's slice) — warm
+    fits computed once ship to every serving host.
 
 ``estima list``
     Show the available workloads and machines.
@@ -236,10 +249,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(func=_cmd_serve)
 
+    route = sub.add_parser(
+        "route",
+        help="HTTP router sharding requests across estima serve backends by digest",
+    )
+    route.add_argument(
+        "--http",
+        required=True,
+        metavar="HOST:PORT",
+        help="router listening address (port 0 picks a free port)",
+    )
+    route.add_argument(
+        "--backends",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="downstream estima serve NDJSON backends "
+        "(default: $ESTIMA_ROUTE_BACKENDS)",
+    )
+    route.add_argument(
+        "--vnodes",
+        type=int,
+        default=None,
+        help="virtual nodes per backend on the hash ring (placement knob)",
+    )
+    route.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-request backend socket timeout in seconds "
+        "(default: $ESTIMA_REMOTE_TIMEOUT or 30)",
+    )
+    route.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="retries per backend before ring failover "
+        "(default: $ESTIMA_REMOTE_RETRIES or 2)",
+    )
+    route.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the router stats snapshot (one JSON line, the same counters "
+        "GET /metrics reports) to stderr on shutdown",
+    )
+    route.set_defaults(func=_cmd_route)
+
     cache = sub.add_parser(
         "cache", help="inspect or manage the persistent fit-cache disk tier"
     )
-    cache.add_argument("action", choices=["stats", "clear", "warm"])
+    cache.add_argument("action", choices=["stats", "clear", "warm", "export", "import"])
     cache.add_argument(
         "--cache-dir",
         default=None,
@@ -258,6 +316,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache.add_argument("--measure-cores", type=int, default=None, help="warm: measurement window")
     cache.add_argument("--target-cores", type=int, default=None, help="warm: prediction target")
+    cache.add_argument(
+        "--output", default=None, help="export: archive path to write (tar.gz)"
+    )
+    cache.add_argument(
+        "--input", default=None, help="import: archive path to read"
+    )
+    cache.add_argument(
+        "--regions",
+        default=None,
+        help="export: comma-separated region subset (default: every region)",
+    )
+    cache.add_argument(
+        "--ring-backends",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="import: the cluster's backend list; keeps only --ring-node's slice",
+    )
+    cache.add_argument(
+        "--ring-node",
+        default=None,
+        metavar="HOST:PORT",
+        help="import: this host's entry in --ring-backends",
+    )
+    cache.add_argument(
+        "--vnodes",
+        type=int,
+        default=None,
+        help="import: virtual nodes per backend (must match the router's)",
+    )
     cache.set_defaults(func=_cmd_cache)
     return parser
 
@@ -658,9 +745,129 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.engine.cluster.remote import route_backends_from_env
+    from repro.engine.cluster.ring import DEFAULT_VNODES
+    from repro.engine.cluster.router import Router, serve_route
+    from repro.engine.pool import parse_tcp_address
+
+    try:
+        backends_spec = args.backends or route_backends_from_env()
+        if not backends_spec:
+            print(
+                "route needs --backends (or ESTIMA_ROUTE_BACKENDS)", file=sys.stderr
+            )
+            return 2
+        host, port = parse_tcp_address(args.http)
+        # EstimaConfig validates the backend list (and every ESTIMA_* serving
+        # variable) strictly up front, the same contract as `estima serve`.
+        config = EstimaConfig(route_backends=backends_spec)
+        router = Router(
+            config.route_backends,
+            config=config,
+            vnodes=args.vnodes if args.vnodes is not None else DEFAULT_VNODES,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+    except ValueError as exc:
+        print(f"invalid route configuration: {exc}", file=sys.stderr)
+        return 2
+
+    def on_listening(address: tuple) -> None:
+        print(
+            f"routing on http {address[0]}:{address[1]} across "
+            f"{len(router.pool.backends)} backend(s)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        asyncio.run(serve_route(router, host, port, on_listening=on_listening))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        router.close()
+    if args.stats:
+        # Shutdown report: one machine-readable line, the exact snapshot the
+        # router's GET /metrics renders.
+        print(json.dumps(router.stats()), file=sys.stderr)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache_dir = args.cache_dir or str(default_cache_dir())
     store = store_for(cache_dir)
+
+    if args.action == "export":
+        if not args.output:
+            print("cache export needs --output", file=sys.stderr)
+            return 2
+        from repro.engine.cluster.archive import export_store
+
+        regions = (
+            [r.strip() for r in args.regions.split(",") if r.strip()]
+            if args.regions
+            else None
+        )
+        summary = export_store(store, args.output, regions=regions)
+        if args.as_json:
+            print(json.dumps(summary, indent=2))
+        else:
+            skipped = summary["skipped"]
+            print(
+                f"exported {summary['entries']} entries ({summary['bytes']} bytes) "
+                f"from {cache_dir} to {summary['path']}"
+                + (f", skipped {skipped} unreadable/stale" if skipped else "")
+            )
+        return 0
+
+    if args.action == "import":
+        if not args.input:
+            print("cache import needs --input", file=sys.stderr)
+            return 2
+        from repro.engine.cluster.archive import import_archive
+
+        ring = None
+        if args.ring_backends or args.ring_node:
+            if not (args.ring_backends and args.ring_node):
+                print(
+                    "cache import ring filtering needs both --ring-backends and --ring-node",
+                    file=sys.stderr,
+                )
+                return 2
+            from repro.engine.cluster.remote import parse_backends
+            from repro.engine.cluster.ring import DEFAULT_VNODES, HashRing
+
+            try:
+                ring = HashRing(
+                    parse_backends(args.ring_backends),
+                    vnodes=args.vnodes if args.vnodes is not None else DEFAULT_VNODES,
+                )
+            except ValueError as exc:
+                print(f"invalid --ring-backends: {exc}", file=sys.stderr)
+                return 2
+        try:
+            summary = import_archive(args.input, store, ring=ring, node=args.ring_node)
+        except ValueError as exc:
+            print(f"cache import failed: {exc}", file=sys.stderr)
+            return 2
+        if args.as_json:
+            print(json.dumps(summary, indent=2))
+        else:
+            print(
+                f"imported {summary['imported']} entries into {cache_dir}"
+                + (
+                    f", skipped {summary['skipped_other_shard']} other-shard"
+                    if summary["skipped_other_shard"]
+                    else ""
+                )
+                + (
+                    f", skipped {summary['skipped_invalid']} invalid"
+                    if summary["skipped_invalid"]
+                    else ""
+                )
+            )
+        return 0
 
     if args.action == "clear":
         removed = store.clear()

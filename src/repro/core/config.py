@@ -110,10 +110,31 @@ class EstimaConfig:
         (the default) keeps HTTP off.  ``ESTIMA_SERVE_HTTP`` provides the
         CLI default; both the field and the environment variable are
         validated strictly here at construction, like ``serve_tcp``.
+    serve_idle_timeout:
+        Idle/read timeout in seconds for served connections (the NDJSON
+        server and the HTTP gateway): a peer that sends nothing for this
+        long — with no requests of its own in flight — is disconnected, so
+        a hung client cannot pin a connection slot.  ``None`` (the default)
+        defers to ``ESTIMA_SERVE_IDLE_TIMEOUT``; 0 disables the timeout.
+    route_backends:
+        Comma-separated ``host:port`` list of downstream ``estima serve``
+        hosts for the cluster router (``estima route``) and the ``remote``
+        executor.  ``None`` (the default) defers to
+        ``ESTIMA_ROUTE_BACKENDS``.  Validated strictly at construction
+        (well-formed addresses, no duplicates, no port 0).
+    remote_timeout:
+        Per-request socket timeout in seconds for remote backend calls
+        (router and ``remote`` executor).  ``ESTIMA_REMOTE_TIMEOUT``
+        overrides the CLI default.
+    remote_retries:
+        Retries per backend host (beyond the first attempt, exponential
+        backoff) before failing over to the next ring node.
+        ``ESTIMA_REMOTE_RETRIES`` overrides the CLI default.
 
     None of the engine knobs (``executor``, ``max_workers``,
-    ``use_fit_cache``, ``cache_*``, ``serve_*``) affect predicted numbers —
-    only how fast they are produced.
+    ``use_fit_cache``, ``cache_*``, ``serve_*``, ``route_backends``,
+    ``remote_*``) affect predicted numbers — only how fast (and where) they
+    are produced.
     """
 
     kernel_names: tuple[str, ...] = DEFAULT_KERNEL_NAMES
@@ -136,6 +157,10 @@ class EstimaConfig:
     serve_workers: int = 0
     serve_tcp: str | None = None
     serve_http: str | None = None
+    serve_idle_timeout: float | None = None
+    route_backends: str | None = None
+    remote_timeout: float = 30.0
+    remote_retries: int = 2
 
     def __post_init__(self) -> None:
         # Engine imports are deferred to the call: repro.engine.cache is a
@@ -143,11 +168,21 @@ class EstimaConfig:
         # scope preserves the core -> engine one-way dependency direction.
         from repro.engine.cache import ENV_FIT_CACHE, parse_bool_env
         from repro.engine.executor import ENV_EXECUTOR, parse_executor_spec
+        from repro.engine.cluster.remote import (
+            parse_backends,
+            parse_remote_retries,
+            parse_remote_timeout,
+            remote_retries_from_env,
+            remote_timeout_from_env,
+            route_backends_from_env,
+        )
         from repro.engine.pool import (
             ENV_SERVE_WORKERS,
+            parse_idle_timeout,
             parse_serve_workers,
             parse_tcp_address,
             serve_http_from_env,
+            serve_idle_timeout_from_env,
         )
         from repro.engine.store import max_bytes_from_env
 
@@ -195,6 +230,19 @@ class EstimaConfig:
             except ValueError as exc:
                 raise ValueError(f"invalid serve_http: {exc}") from None
         serve_http_from_env()  # raises ValueError when ESTIMA_SERVE_HTTP is malformed
+        if self.serve_idle_timeout is not None:
+            parse_idle_timeout(self.serve_idle_timeout)  # raises when malformed
+        serve_idle_timeout_from_env()  # validates ESTIMA_SERVE_IDLE_TIMEOUT
+        if self.route_backends is not None:
+            try:
+                parse_backends(self.route_backends)
+            except ValueError as exc:
+                raise ValueError(f"invalid route_backends: {exc}") from None
+        route_backends_from_env()  # validates ESTIMA_ROUTE_BACKENDS
+        parse_remote_timeout(self.remote_timeout)  # raises when malformed
+        parse_remote_retries(self.remote_retries)  # raises when malformed
+        remote_timeout_from_env()  # validates ESTIMA_REMOTE_TIMEOUT
+        remote_retries_from_env()  # validates ESTIMA_REMOTE_RETRIES
         if self.frequency_ratio <= 0.0:
             raise ValueError("frequency_ratio must be positive")
         if self.dataset_ratio <= 0.0:

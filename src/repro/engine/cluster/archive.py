@@ -1,0 +1,254 @@
+"""Ship warm :class:`~repro.engine.store.DiskStore` entries between machines.
+
+``estima cache export`` packs a store's entry files into one gzipped tar
+archive; ``estima cache import`` unpacks it into another store — the
+"shipped warm fits" leg of the cluster layer: warm a cache once (a CI job,
+a beefy build host), then start every serving shard hot.
+
+Archive format (versioned independently of the entry schema)::
+
+    manifest.json            {"archive_schema": 1, "store_schema": 1,
+                              "entries": N, "regions": {region: count}}
+    <region>/<key>.entry     the raw pickled store payload, verbatim
+
+Safety properties:
+
+* **Schema-versioned.** Import refuses an archive whose ``archive_schema``
+  or ``store_schema`` does not match this code — stale formats fail loudly
+  instead of deserialising garbage.
+* **Digest-verified.** Every store payload embeds its own region/key/schema;
+  import unpickles each member and cross-checks the embedded values against
+  the member's path before writing.  A renamed, truncated or tampered-with
+  member is counted and skipped, never stored under the wrong digest.
+* **Ring-filtered.** With a :class:`~repro.engine.cluster.ring.HashRing`
+  and a node name, import keeps only the entries that ring places on that
+  node — each shard imports exactly its slice of a full archive, and the
+  placement agrees with the router's because both are the same pure
+  function.
+* **No path traversal.** Members are never extracted to disk; bytes are
+  read in memory and written through :meth:`DiskStore.put` (atomic rename,
+  byte-budget enforcement included).
+
+Trust model: archive entries are pickles, exactly like the store's own
+files — import archives only from sources you would let write your cache
+directory.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pickle
+import tarfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.engine.store import SCHEMA_VERSION, DiskStore
+
+if TYPE_CHECKING:  # imported for annotations only
+    from .ring import HashRing
+
+__all__ = ["ARCHIVE_SCHEMA_VERSION", "export_store", "import_archive"]
+
+#: Version of the archive layout itself (manifest + member naming).  Bump on
+#: layout changes; mismatching archives are refused at import.
+ARCHIVE_SCHEMA_VERSION = 1
+
+_MANIFEST_NAME = "manifest.json"
+_ENTRY_SUFFIX = ".entry"
+
+
+def _entry_files(store: DiskStore, regions: "Iterable[str] | None") -> list[tuple[str, str, Path]]:
+    """Every ``(region, key, path)`` entry of the store, sorted for determinism."""
+    wanted = set(regions) if regions is not None else None
+    found: list[tuple[str, str, Path]] = []
+    root = store.root
+    if not root.is_dir():
+        return found
+    for path in root.rglob(f"*{_ENTRY_SUFFIX}"):
+        relative = path.relative_to(root).parts
+        if len(relative) < 2:
+            continue  # not under a region directory
+        region, key = relative[0], path.name[: -len(_ENTRY_SUFFIX)]
+        if wanted is not None and region not in wanted:
+            continue
+        found.append((region, key, path))
+    found.sort()
+    return found
+
+
+def export_store(
+    store: DiskStore,
+    output: "str | Path",
+    *,
+    regions: "Iterable[str] | None" = None,
+) -> dict[str, object]:
+    """Write the store's entries (optionally one region subset) to a tar.gz.
+
+    Unreadable or schema-stale entry files are skipped and counted — the
+    archive only ever carries payloads a current import will accept.
+    Returns a JSON-friendly summary (``entries``, ``regions``, ``skipped``,
+    ``path``, ``bytes``).
+    """
+    store.refresh()  # pick up entries other processes wrote
+    output = Path(output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    entries = 0
+    skipped = 0
+    region_counts: dict[str, int] = {}
+    members: list[tuple[str, bytes]] = []
+    for region, key, path in _entry_files(store, regions):
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            skipped += 1
+            continue
+        if not _valid_payload(blob, region=region, key=key):
+            skipped += 1
+            continue
+        members.append((f"{region}/{key}{_ENTRY_SUFFIX}", blob))
+        entries += 1
+        region_counts[region] = region_counts.get(region, 0) + 1
+    manifest = {
+        "archive_schema": ARCHIVE_SCHEMA_VERSION,
+        "store_schema": SCHEMA_VERSION,
+        "entries": entries,
+        "regions": region_counts,
+    }
+    with tarfile.open(output, "w:gz") as tar:
+        _add_bytes(tar, _MANIFEST_NAME, json.dumps(manifest, indent=2).encode())
+        for name, blob in members:
+            _add_bytes(tar, name, blob)
+    summary = dict(manifest)
+    summary["skipped"] = skipped
+    summary["path"] = str(output)
+    summary["bytes"] = output.stat().st_size
+    return summary
+
+
+def import_archive(
+    path: "str | Path",
+    store: DiskStore,
+    *,
+    ring: "HashRing | None" = None,
+    node: "str | None" = None,
+) -> dict[str, object]:
+    """Load an exported archive into ``store`` (optionally one ring slice).
+
+    With ``ring`` and ``node``, only entries the ring places on ``node``
+    are written — the shard-slice import.  Raises ``ValueError`` for a
+    missing/garbled manifest or a schema mismatch; individual entries that
+    fail digest verification are counted in ``skipped_invalid`` and
+    skipped.  Returns a JSON-friendly summary (``imported``,
+    ``skipped_invalid``, ``skipped_other_shard``, ``regions``).
+    """
+    if (ring is None) != (node is None):
+        raise ValueError("ring filtering needs both a ring and a node")
+    if ring is not None and node not in ring.nodes:
+        raise ValueError(f"node {node!r} is not on the ring {ring.nodes!r}")
+    imported = 0
+    skipped_invalid = 0
+    skipped_other_shard = 0
+    region_counts: dict[str, int] = {}
+    try:
+        with tarfile.open(path, "r:*") as tar:
+            manifest = _read_manifest(tar)
+            for member in tar:
+                if not member.isfile() or not member.name.endswith(_ENTRY_SUFFIX):
+                    continue
+                parts = Path(member.name).parts
+                if len(parts) != 2:
+                    skipped_invalid += 1
+                    continue
+                region, key = parts[0], parts[1][: -len(_ENTRY_SUFFIX)]
+                if ring is not None and ring.node_for(key) != node:
+                    skipped_other_shard += 1
+                    continue
+                handle = tar.extractfile(member)
+                blob = handle.read() if handle is not None else b""
+                value = _verified_value(blob, region=region, key=key)
+                if value is _INVALID:
+                    skipped_invalid += 1
+                    continue
+                if store.put(region, key, value):
+                    imported += 1
+                    region_counts[region] = region_counts.get(region, 0) + 1
+                else:
+                    skipped_invalid += 1
+    except (tarfile.TarError, OSError) as exc:
+        raise ValueError(f"not a cache archive: {exc}") from None
+    return {
+        "archive_schema": manifest["archive_schema"],
+        "store_schema": manifest["store_schema"],
+        "imported": imported,
+        "skipped_invalid": skipped_invalid,
+        "skipped_other_shard": skipped_other_shard,
+        "regions": region_counts,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Internals
+# --------------------------------------------------------------------------- #
+
+_INVALID = object()
+
+
+def _add_bytes(tar: tarfile.TarFile, name: str, blob: bytes) -> None:
+    info = tarfile.TarInfo(name=name)
+    info.size = len(blob)
+    info.mtime = 0  # bit-reproducible archives for identical store contents
+    tar.addfile(info, io.BytesIO(blob))
+
+
+def _read_manifest(tar: tarfile.TarFile) -> dict[str, object]:
+    try:
+        handle = tar.extractfile(_MANIFEST_NAME)
+    except KeyError:
+        handle = None
+    if handle is None:
+        raise ValueError(f"not a cache archive: no {_MANIFEST_NAME} member")
+    try:
+        manifest = json.loads(handle.read())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"garbled archive manifest: {exc}") from None
+    if not isinstance(manifest, dict):
+        raise ValueError("garbled archive manifest: not a JSON object")
+    if manifest.get("archive_schema") != ARCHIVE_SCHEMA_VERSION:
+        raise ValueError(
+            f"archive schema v{manifest.get('archive_schema')!r} does not match "
+            f"this code's v{ARCHIVE_SCHEMA_VERSION}"
+        )
+    if manifest.get("store_schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"archive store schema v{manifest.get('store_schema')!r} does not match "
+            f"this code's v{SCHEMA_VERSION}"
+        )
+    return manifest
+
+
+def _decode_payload(blob: bytes) -> "dict | None":
+    try:
+        payload = pickle.loads(blob)
+    except Exception:
+        return None
+    if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+        return None
+    return payload
+
+
+def _valid_payload(blob: bytes, *, region: str, key: str) -> bool:
+    payload = _decode_payload(blob)
+    return (
+        payload is not None
+        and payload.get("region") == region
+        and payload.get("key") == key
+    )
+
+
+def _verified_value(blob: bytes, *, region: str, key: str) -> object:
+    """The entry's value iff the embedded region/key/schema match its path."""
+    payload = _decode_payload(blob)
+    if payload is None or payload.get("region") != region or payload.get("key") != key:
+        return _INVALID
+    return payload.get("value")

@@ -1,0 +1,104 @@
+"""Consistent-hash ring with virtual nodes over the engine's content digests.
+
+The cache tiers, the router and the cache archive all address work by the
+same blake2b hex digests (:func:`repro.engine.cache.digest`).  This ring
+maps any such key to one backend node — and, for failover, to every backend
+in a deterministic order — so that:
+
+* the same key always lands on the same node (a shard's disk tier stays hot
+  for its slice of the key space);
+* adding or removing a node moves only the keys adjacent to its virtual
+  nodes, not the whole key space (``vnodes`` virtual points per node smooth
+  the distribution);
+* placement is a pure function of ``(nodes, vnodes, key)`` — no state, no
+  randomness — so tests pin exact placements and two processes (a router
+  and an ``estima cache import --ring-node`` run on a backend) agree on the
+  partition without coordinating.
+
+Positions live in a 64-bit space: each virtual node sits at
+``int(digest("ring", node, replica)[:16], 16)`` and a key hashes to
+``int(digest("ring-key", key)[:16], 16)``; :meth:`HashRing.node_for` walks
+clockwise to the next virtual node (wrapping at the top).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Iterator
+
+from repro.engine.cache import digest
+
+__all__ = ["DEFAULT_VNODES", "HashRing"]
+
+#: Virtual nodes per backend (the usual smoothing default; configurable).
+DEFAULT_VNODES = 64
+
+
+class HashRing:
+    """Deterministic consistent-hash placement of keys onto named nodes."""
+
+    def __init__(self, nodes: Iterable[str], *, vnodes: int = DEFAULT_VNODES) -> None:
+        node_list = [str(node) for node in nodes]
+        if not node_list:
+            raise ValueError("a hash ring needs at least one node")
+        if len(set(node_list)) != len(node_list):
+            raise ValueError(f"duplicate ring nodes: {node_list!r}")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.nodes = tuple(node_list)
+        self.vnodes = int(vnodes)
+        points = []
+        for node in self.nodes:
+            for replica in range(self.vnodes):
+                points.append((self._position("ring", node, replica), node))
+        # Position collisions across nodes are astronomically unlikely in a
+        # 64-bit space; the node name tie-break keeps even that deterministic.
+        points.sort()
+        self._points = points
+        self._positions = [position for position, _ in points]
+
+    @staticmethod
+    def _position(*parts: object) -> int:
+        return int(digest(*parts)[:16], 16)
+
+    def key_position(self, key: str) -> int:
+        """The ring position of a key (exposed for tests and diagnostics)."""
+        return self._position("ring-key", key)
+
+    def node_for(self, key: str) -> str:
+        """The node owning ``key``: the next virtual node clockwise."""
+        index = bisect_right(self._positions, self.key_position(key))
+        if index == len(self._points):
+            index = 0  # wrap past the highest virtual node
+        return self._points[index][1]
+
+    def nodes_for(self, key: str) -> tuple[str, ...]:
+        """Every node in failover order for ``key``.
+
+        The owner first, then each further node in the order its first
+        virtual node appears clockwise — the deterministic schedule the
+        :class:`~repro.engine.cluster.remote.BackendPool` walks when the
+        owner is down.  Always length ``len(self.nodes)``, no duplicates.
+        """
+        if len(self.nodes) == 1:
+            return self.nodes
+        start = bisect_right(self._positions, self.key_position(key))
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            node = self._points[(start + offset) % len(self._points)][1]
+            if node not in seen:
+                seen.add(node)
+                ordered.append(node)
+                if len(ordered) == len(self.nodes):
+                    break
+        return tuple(ordered)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"HashRing(nodes={self.nodes!r}, vnodes={self.vnodes})"

@@ -18,16 +18,22 @@ of independent tasks is mapped:
   fan-out with deterministic result ordering (results always come back in
   task-submission order, regardless of completion order).
 
+A fourth backend lives in the cluster package:
+:class:`~repro.engine.cluster.remote.RemoteExecutor`
+(``remote:<host:port,...>``) ships registered tasks to downstream ``estima
+serve`` hosts over NDJSON and is resolved here like any other spec.
+
 Backends are chosen per run via ``EstimaConfig(executor=...)``, the
 ``ESTIMA_EXECUTOR`` environment variable (``serial``, ``threads[:N]``,
-``parallel`` or ``parallel:<workers>``), or by passing an :class:`Executor`
-instance directly to the runner layer.  Task functions and task payloads
-handed to :class:`ParallelExecutor` must be picklable (module-level functions
-and plain dataclasses); the runner layer ships workload *names* rather than
-workload objects for exactly this reason.
+``parallel[:N]`` or ``remote:<host:port,...>``), or by passing an
+:class:`Executor` instance directly to the runner layer.  Task functions and
+task payloads handed to :class:`ParallelExecutor` must be picklable
+(module-level functions and plain dataclasses); the runner layer ships
+workload *names* rather than workload objects for exactly this reason.
 
-This module imports nothing from the rest of :mod:`repro`, so any layer can
-use it without cycles.
+This module imports nothing from the rest of :mod:`repro` eagerly (the
+``remote`` spec lazily pulls in :mod:`repro.engine.cluster.remote`, itself a
+leaf-only importer), so any layer can use it without cycles.
 """
 
 from __future__ import annotations
@@ -56,7 +62,7 @@ __all__ = [
 ENV_EXECUTOR = "ESTIMA_EXECUTOR"
 
 #: Backend names accepted by :func:`parse_executor_spec`.
-EXECUTOR_NAMES = ("serial", "threads", "parallel")
+EXECUTOR_NAMES = ("serial", "threads", "parallel", "remote")
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -266,19 +272,38 @@ class ParallelExecutor(Executor):
 
 
 def parse_executor_spec(spec: str) -> tuple[str, int | None]:
-    """Parse ``"serial"`` / ``"threads[:N]"`` / ``"parallel[:N]"`` strictly.
+    """Parse ``"serial"`` / ``"threads[:N]"`` / ``"parallel[:N]"`` /
+    ``"remote:<host:port,...>"`` strictly.
 
     Returns ``(backend, workers)`` where ``workers`` is ``None`` when no
-    ``:<n>`` suffix was given.  Raises a clear ``ValueError`` for unknown
-    backends, non-integer suffixes and suffixes on the serial backend — the
-    validation both :func:`get_executor` and ``EstimaConfig`` construction
-    rely on, so a malformed ``ESTIMA_EXECUTOR`` fails fast instead of deep
-    inside the engine.
+    ``:<n>`` suffix was given (always ``None`` for ``remote``, whose suffix
+    is a backend host list, validated here, not a worker count).  Raises a
+    clear ``ValueError`` for unknown backends, non-integer suffixes and
+    suffixes on the serial backend — the validation both
+    :func:`get_executor` and ``EstimaConfig`` construction rely on, so a
+    malformed ``ESTIMA_EXECUTOR`` fails fast instead of deep inside the
+    engine.
     """
+    head, head_sep, rest = str(spec).strip().partition(":")
+    if head.strip().lower() == "remote":
+        # The suffix is a host list (it contains colons itself), so the
+        # lowercase/worker-count path below must not touch it.
+        if not head_sep or not rest.strip():
+            raise ValueError(
+                f"executor 'remote' needs a backend list, e.g. 'remote:host:7070', got {spec!r}"
+            )
+        # Validate the host list here (cluster imports only leaf modules, so
+        # this lazy import cannot cycle); the spec string stays the source of
+        # truth and get_executor re-parses it.
+        from .cluster.remote import parse_backends
+
+        parse_backends(rest)
+        return "remote", None
     name, sep, suffix = spec.strip().lower().partition(":")
     if name not in EXECUTOR_NAMES:
         raise ValueError(
-            f"unknown executor {spec!r}; expected 'serial', 'threads[:N]' or 'parallel[:N]'"
+            f"unknown executor {spec!r}; expected 'serial', 'threads[:N]', "
+            "'parallel[:N]' or 'remote:<host:port,...>'"
         )
     if not sep:
         return name, None
@@ -299,16 +324,20 @@ def get_executor(
     """Resolve an executor from an instance, a backend name, or the environment.
 
     ``spec`` may be an :class:`Executor` (returned as-is), a name —
-    ``"serial"``, ``"threads[:N]"``, ``"parallel"`` or ``"parallel:<n>"`` —
-    or ``None``, in which case the ``ESTIMA_EXECUTOR`` environment variable
-    decides (default ``serial``).  ``max_workers`` applies to the pool
-    backends and is overridden by an explicit ``:<n>`` suffix.
+    ``"serial"``, ``"threads[:N]"``, ``"parallel[:N]"`` or
+    ``"remote:<host:port,...>"`` — or ``None``, in which case the
+    ``ESTIMA_EXECUTOR`` environment variable decides (default ``serial``).
+    ``max_workers`` applies to the pool backends and is overridden by an
+    explicit ``:<n>`` suffix.
     """
     if isinstance(spec, Executor):
         return spec
-    name, suffix_workers = parse_executor_spec(
-        spec or os.environ.get(ENV_EXECUTOR) or "serial"
-    )
+    text = spec or os.environ.get(ENV_EXECUTOR) or "serial"
+    name, suffix_workers = parse_executor_spec(text)
+    if name == "remote":
+        from .cluster.remote import remote_executor_from_spec
+
+        return remote_executor_from_spec(text)
     workers = suffix_workers if suffix_workers is not None else max_workers
     if name == "serial":
         return SerialExecutor()

@@ -127,10 +127,13 @@ def flatten_stats(snapshot: Mapping[str, Any], prefix: str = "estima") -> dict[s
 
     Every numeric leaf of the nested snapshot dict becomes one metric named
     by its path (``{"server": {"requests": 3}}`` -> ``estima_server_requests
-    3.0``); booleans become 0/1, non-numeric leaves (strings, lists) are
-    skipped.  Both ``GET /metrics`` and the tests asserting metrics/stats
-    identity go through this one function — there is no second dict
-    assembly to drift.
+    3.0``); booleans become 0/1.  A non-numeric leaf (a string, a list,
+    ``None``) raises ``ValueError`` naming the offending metric path: a
+    counter that cannot render as a gauge must fail loudly at the source,
+    not silently vanish from ``/metrics`` (non-numeric facts belong in dict
+    *keys*, like the per-backend sub-dicts of the router's snapshot).  Both
+    ``GET /metrics`` and the tests asserting metrics/stats identity go
+    through this one function — there is no second dict assembly to drift.
     """
     gauges: dict[str, float] = {}
 
@@ -142,6 +145,11 @@ def flatten_stats(snapshot: Mapping[str, Any], prefix: str = "estima") -> dict[s
             gauges["_".join(parts)] = 1.0 if value else 0.0
         elif isinstance(value, (int, float)):
             gauges["_".join(parts)] = float(value)
+        else:
+            raise ValueError(
+                f"non-numeric stats leaf at {'_'.join(parts)}: {value!r} "
+                "(every /metrics leaf must be a number or bool)"
+            )
 
     walk([_metric_segment(prefix)], snapshot)
     return gauges
@@ -263,9 +271,17 @@ class HttpGateway:
         *,
         config: EstimaConfig | None = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        idle_timeout: "float | None" = None,
     ) -> None:
         self.server = server if server is not None else PredictionServer(config)
         self.max_body_bytes = max_body_bytes
+        # Same resolution as the NDJSON server: explicit kwarg, else the
+        # server's own (config / ESTIMA_SERVE_IDLE_TIMEOUT) value; 0 = off.
+        self.idle_timeout = (
+            idle_timeout if idle_timeout is not None else self.server.idle_timeout
+        ) or None
+        if self.idle_timeout is not None and self.idle_timeout < 0:
+            raise ValueError("idle_timeout must be >= 0 (0 = disabled)")
         self._requests_by_route: dict[str, int] = {}
         self._responses_by_status: dict[str, int] = {}
 
@@ -299,7 +315,21 @@ class HttpGateway:
         try:
             while True:
                 try:
-                    request = await _read_request(reader, self.max_body_bytes)
+                    # The idle timeout only covers waiting for (and framing)
+                    # the next request: a connection with a request being
+                    # served is working, not idle.  A peer that opens a slot
+                    # and hangs gets its connection closed instead of pinning
+                    # a server slot forever.
+                    if self.idle_timeout is None:
+                        request = await _read_request(reader, self.max_body_bytes)
+                    else:
+                        request = await asyncio.wait_for(
+                            _read_request(reader, self.max_body_bytes),
+                            timeout=self.idle_timeout,
+                        )
+                except asyncio.TimeoutError:
+                    self._count_request("idle_timeout")
+                    break
                 except _HttpError as exc:
                     # Framing is broken or untrusted past this point: report
                     # the status and close rather than resynchronise.
@@ -502,10 +532,9 @@ class HttpGateway:
         keep_alive: bool,
         extra_headers: tuple[tuple[str, str], ...] = (),
     ) -> None:
-        body = json.dumps(document).encode() + b"\n"
-        await self._write_response(
-            writer, status, body, _JSON_CONTENT_TYPE,
-            keep_alive=keep_alive, extra_headers=extra_headers,
+        self._count_response(status)
+        await write_json_response(
+            writer, status, document, keep_alive=keep_alive, extra_headers=extra_headers,
         )
 
     async def _write_response(
@@ -521,15 +550,62 @@ class HttpGateway:
     ) -> None:
         if count:
             self._count_response(status)
-        lines = [
-            f"HTTP/1.1 {status} {STATUS_REASONS.get(status, 'Unknown')}",
-            f"Content-Type: {content_type}",
-            f"Content-Length: {len(body)}",
-            f"Connection: {'keep-alive' if keep_alive else 'close'}",
-        ]
-        lines.extend(f"{name}: {value}" for name, value in extra_headers)
-        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
-        await writer.drain()
+        await write_http_response(
+            writer, status, body, content_type,
+            keep_alive=keep_alive, extra_headers=extra_headers,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Response framing (module-level: the cluster router emits the same shapes)
+# --------------------------------------------------------------------------- #
+
+
+async def write_http_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    content_type: str,
+    *,
+    keep_alive: bool,
+    extra_headers: tuple[tuple[str, str], ...] = (),
+    reasons: Mapping[int, str] = STATUS_REASONS,
+) -> None:
+    """Write one complete HTTP/1.1 response (the gateway's exact framing).
+
+    ``reasons`` lets front-ends with extra statuses (the router's 503) reuse
+    this writer without widening the gateway's own status table.
+    """
+    lines = [
+        f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+    await writer.drain()
+
+
+async def write_json_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    document: Mapping[str, Any],
+    *,
+    keep_alive: bool,
+    extra_headers: tuple[tuple[str, str], ...] = (),
+    reasons: Mapping[int, str] = STATUS_REASONS,
+) -> None:
+    """Write one JSON document as a complete HTTP response."""
+    await write_http_response(
+        writer,
+        status,
+        json.dumps(document).encode() + b"\n",
+        _JSON_CONTENT_TYPE,
+        keep_alive=keep_alive,
+        extra_headers=extra_headers,
+        reasons=reasons,
+    )
 
 
 # --------------------------------------------------------------------------- #

@@ -68,10 +68,13 @@ from typing import Any, Mapping
 __all__ = [
     "ENV_SERVE_WORKERS",
     "ENV_SERVE_HTTP",
+    "ENV_SERVE_IDLE_TIMEOUT",
     "PROTOCOLS",
     "parse_serve_workers",
     "serve_workers_from_env",
     "serve_http_from_env",
+    "parse_idle_timeout",
+    "serve_idle_timeout_from_env",
     "parse_tcp_address",
     "WorkerPool",
 ]
@@ -81,6 +84,10 @@ ENV_SERVE_WORKERS = "ESTIMA_SERVE_WORKERS"
 
 #: Environment variable with the default ``estima serve --http`` address.
 ENV_SERVE_HTTP = "ESTIMA_SERVE_HTTP"
+
+#: Environment variable with the default idle/read timeout (seconds) for
+#: served connections.  0 (or unset) disables the timeout.
+ENV_SERVE_IDLE_TIMEOUT = "ESTIMA_SERVE_IDLE_TIMEOUT"
 
 #: Wire protocols a worker (or the in-process server) can speak on accepted
 #: connections: the native NDJSON protocol or the HTTP/JSON gateway.
@@ -132,6 +139,38 @@ def serve_http_from_env() -> str | None:
     except ValueError as exc:
         raise ValueError(f"invalid {ENV_SERVE_HTTP} environment variable: {exc}") from None
     return raw
+
+
+def parse_idle_timeout(value: object, *, source: str = "serve_idle_timeout") -> float:
+    """Parse an idle/read timeout strictly: seconds >= 0 or a clear error.
+
+    0 disables the timeout (a hung peer may then pin its connection slot
+    forever — the pre-timeout behaviour).  Shared by ``EstimaConfig``
+    construction, the ``ESTIMA_SERVE_IDLE_TIMEOUT`` environment variable and
+    the server/gateway constructors.
+    """
+    try:
+        timeout = float(str(value).strip())
+    except ValueError:
+        raise ValueError(
+            f"invalid {source}={value!r}: expected a timeout in seconds (0 disables)"
+        ) from None
+    if not timeout >= 0:  # rejects NaN too
+        raise ValueError(f"invalid {source}={value!r}: timeout must be >= 0 seconds")
+    return timeout
+
+
+def serve_idle_timeout_from_env() -> "float | None":
+    """The idle timeout configured via ``ESTIMA_SERVE_IDLE_TIMEOUT``.
+
+    Returns ``None`` when unset/blank; a set value is validated strictly so a
+    malformed timeout fails fast, the same contract as the other ``ESTIMA_``
+    serving variables.
+    """
+    raw = os.environ.get(ENV_SERVE_IDLE_TIMEOUT, "").strip()
+    if not raw:
+        return None
+    return parse_idle_timeout(raw, source=ENV_SERVE_IDLE_TIMEOUT)
 
 
 def parse_tcp_address(spec: str) -> tuple[str, int]:

@@ -428,6 +428,7 @@ class PredictionServer:
         max_batch: int | None = None,
         batch_window_ms: float | None = None,
         queue_limit: int | None = None,
+        idle_timeout: float | None = None,
     ) -> None:
         self.config = config or EstimaConfig()
         # share_max_target=False: served numbers must be bit-identical to a
@@ -439,6 +440,18 @@ class PredictionServer:
         )
         self.batch_window_s = window / 1000.0
         self.queue_limit = queue_limit if queue_limit is not None else self.config.serve_queue_limit
+        # Idle/read timeout: explicit kwarg, else the config field, else
+        # ESTIMA_SERVE_IDLE_TIMEOUT.  Stored as None when disabled (0/unset)
+        # so read loops can gate on a single attribute.
+        from .pool import parse_idle_timeout, serve_idle_timeout_from_env
+
+        if idle_timeout is None:
+            idle_timeout = self.config.serve_idle_timeout
+            if idle_timeout is None:
+                idle_timeout = serve_idle_timeout_from_env()
+        self.idle_timeout = (
+            parse_idle_timeout(idle_timeout) if idle_timeout is not None else 0.0
+        ) or None
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if self.batch_window_s < 0:
@@ -717,7 +730,17 @@ class PredictionServer:
         try:
             seq = 0
             while True:
-                line = await reader.readline()
+                if self.idle_timeout is not None:
+                    try:
+                        line = await asyncio.wait_for(
+                            reader.readline(), timeout=self.idle_timeout
+                        )
+                    except asyncio.TimeoutError:
+                        if tasks:
+                            continue  # responses in flight: peer is waiting on us
+                        break  # idle peer: free the connection slot
+                else:
+                    line = await reader.readline()
                 if not line:
                     break
                 if not line.strip():

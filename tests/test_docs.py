@@ -5,9 +5,10 @@ configuration references are the operator contract), so it is tested like
 code:
 
 * every NDJSON op the server dispatches, every HTTP route and status code
-  the gateway emits, every ``ESTIMA_*`` environment variable referenced in
-  ``src/`` and every ``EstimaConfig`` field must appear in its reference
-  document — adding one without documenting it fails CI;
+  the gateway *and the cluster router* emit, every ``ESTIMA_*`` environment
+  variable referenced in ``src/`` and every ``EstimaConfig`` field must
+  appear in its reference document — adding one without documenting it
+  fails CI;
 * every internal markdown link in README and ``docs/*.md`` must resolve to
   an existing file (and same-file anchors to an existing heading).
 """
@@ -69,6 +70,66 @@ class TestServeProtocolDocSync:
             assert re.search(rf'"{op}"', source), (
                 f"op {op!r} is in SUPPORTED_OPS but handle_stream never names it"
             )
+
+
+class TestClusterDocSync:
+    """The cluster layer is documented like the single-host stack."""
+
+    @pytest.fixture(scope="class")
+    def protocol_doc(self) -> str:
+        return _read(DOCS / "serve-protocol.md")
+
+    @pytest.fixture(scope="class")
+    def architecture_doc(self) -> str:
+        return _read(DOCS / "architecture.md")
+
+    def test_router_routes_are_the_gateways(self):
+        """The router's surface is the gateway's, verbatim — a client must
+        not be able to tell a router from a single host."""
+        from repro.engine.cluster.router import ROUTES as ROUTER_ROUTES
+        from repro.engine.gateway import ROUTES as GATEWAY_ROUTES
+
+        assert set(ROUTER_ROUTES) == set(GATEWAY_ROUTES)
+
+    def test_every_router_route_documented(self, protocol_doc):
+        from repro.engine.cluster.router import ROUTES
+
+        assert ROUTES
+        for method, path in ROUTES:
+            assert f"`{method} {path}`" in protocol_doc, (
+                f"router route {method} {path} is not documented"
+            )
+
+    def test_every_router_status_documented(self, protocol_doc):
+        from repro.engine.cluster.router import ROUTER_STATUS_REASONS
+        from repro.engine.gateway import STATUS_REASONS
+
+        assert set(STATUS_REASONS) < set(ROUTER_STATUS_REASONS)  # 503 added
+        for status in ROUTER_STATUS_REASONS:
+            assert re.search(rf"\b{status}\b", protocol_doc), (
+                f"router status {status} is not documented"
+            )
+
+    def test_cluster_components_in_architecture(self, architecture_doc):
+        for component in (
+            "HashRing",
+            "RemoteExecutor",
+            "Router",
+            "estima route",
+            "estima cache export",
+            "cluster/ring.py",
+            "repro.engine.cluster.ring",
+            "repro.engine.cluster.remote",
+            "repro.engine.cluster.router",
+            "repro.engine.cluster.archive",
+        ):
+            assert component in architecture_doc, (
+                f"{component!r} is not described in architecture.md"
+            )
+
+    def test_cluster_cli_in_protocol_doc(self, protocol_doc):
+        assert "estima route" in protocol_doc
+        assert "failover" in protocol_doc.lower()
 
 
 class TestConfigurationDocSync:
