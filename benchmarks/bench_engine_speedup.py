@@ -4,8 +4,9 @@ Not a paper figure — this bench records what the execution-engine layer buys:
 the same multi-workload campaign is timed on the serial reference backend and
 on the process-pool backend (speedup scales with core count; on a single-core
 host the two are expected to tie), plus a cached run showing the fit/
-extrapolation/prediction cache hit counters.  The rows of all runs are
-asserted identical, the engine's core guarantee.
+extrapolation/prediction cache hit counters, plus a cold-cache comparison of
+the two fit-grid strategies (``bench_fit_strategy_speedup``).  The rows of
+all runs are asserted identical, the engine's core guarantee.
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ import time
 
 from conftest import OPTERON_GRID, run_once
 from repro.core import EstimaConfig
+from repro.engine.cache import clear_caches
 from repro.machine import get_machine
 from repro.runner import ErrorCampaign
 
@@ -52,6 +54,61 @@ def bench_engine_serial_vs_parallel(benchmark):
     print(f"serial   : {wall['serial']:.2f} s")
     print(f"parallel : {wall['parallel']:.2f} s  (speedup {speedup:.2f}x)")
     print("rows identical across backends: True")
+
+
+def bench_fit_strategy_speedup(benchmark):
+    """Cold-cache serial vs vectorized fit grid, alone and composed.
+
+    Three legs, every cache cleared before each: the scalar reference
+    strategy on the serial executor, the vectorized strategy on the serial
+    executor (the in-process win — bounded, because bit-identity with the
+    reference solver caps how much work the lean driver may skip), and the
+    vectorized strategy on the process-pool executor (the composed engine).
+    Rows are asserted identical across all three; on hosts with at least 4
+    cores the composed engine must beat the reference by >= 3x.
+    """
+    legs = (
+        ("serial-strategy", "serial", "serial"),
+        ("vectorized", "vectorized", "serial"),
+        ("vectorized+parallel", "vectorized", "parallel"),
+    )
+
+    def pipeline():
+        wall: dict[str, float] = {}
+        results = {}
+        for name, strategy, executor in legs:
+            clear_caches()
+            start = time.perf_counter()
+            results[name] = _campaign(
+                config=EstimaConfig(fit_strategy=strategy), executor=executor
+            ).run(ENGINE_BENCH_WORKLOADS)
+            wall[name] = time.perf_counter() - start
+        return wall, results
+
+    wall, results = run_once(benchmark, pipeline)
+    reference = results["serial-strategy"]
+    for name, _, _ in legs[1:]:
+        assert results[name].rows == reference.rows, f"{name} rows diverged"
+    in_process = wall["serial-strategy"] / wall["vectorized"]
+    composed = wall["serial-strategy"] / wall["vectorized+parallel"]
+    benchmark.extra_info["serial_strategy_s"] = wall["serial-strategy"]
+    benchmark.extra_info["vectorized_s"] = wall["vectorized"]
+    benchmark.extra_info["vectorized_parallel_s"] = wall["vectorized+parallel"]
+    benchmark.extra_info["in_process_speedup"] = in_process
+    benchmark.extra_info["composed_speedup"] = composed
+    print()
+    print(f"# Fit-strategy speedup: {len(ENGINE_BENCH_WORKLOADS)}-workload campaign, "
+          f"cold caches, {os.cpu_count()} CPU(s)")
+    print(f"serial strategy      : {wall['serial-strategy']:.2f} s")
+    print(f"vectorized           : {wall['vectorized']:.2f} s  (speedup {in_process:.2f}x)")
+    print(f"vectorized+parallel  : {wall['vectorized+parallel']:.2f} s  "
+          f"(speedup {composed:.2f}x)")
+    print("rows identical across strategies: True")
+    if (os.cpu_count() or 1) >= 4:
+        assert composed >= 3.0, (
+            f"composed vectorized+parallel engine only {composed:.2f}x faster "
+            f"than the serial reference on {os.cpu_count()} cores (>= 3x required)"
+        )
 
 
 def bench_engine_fit_cache(benchmark):

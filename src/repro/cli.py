@@ -53,6 +53,14 @@ simulation substrate:
     with ``--ring-backends``/``--ring-node`` only this shard's slice) — warm
     fits computed once ship to every serving host.
 
+``estima profile --workload intruder --machine opteron48 --measure-cores 12 --target-cores 48``
+    Run the same prediction cold under both fit-grid strategies
+    (``serial`` — the scalar reference loop — and ``vectorized`` — the
+    batched engine of ``repro.core.fastfit``), verify the predicted rows
+    are identical, and print a per-stage timing table (design solves,
+    non-linear solves, realism screening, checkpoint scoring) with the
+    end-to-end speedup.  ``--json`` emits the comparison machine-readably.
+
 ``estima list``
     Show the available workloads and machines.
 
@@ -72,10 +80,13 @@ import time
 from contextlib import nullcontext
 from pathlib import Path
 
+import numpy as np
+
 from repro.analysis.bottleneck import BottleneckReport
 from repro.core import EstimaConfig, EstimaPredictor, MeasurementSet, TimeExtrapolation
 from repro.engine.cache import cache_stats, caches_enabled, clear_caches, disk_tier
 from repro.engine.executor import get_executor
+from repro.engine.profiling import PROFILER, profile_delta
 from repro.engine.store import default_cache_dir, store_for
 from repro.machine.machines import MACHINES, get_machine
 from repro.runner.campaign import ErrorCampaign
@@ -346,6 +357,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="import: virtual nodes per backend (must match the router's)",
     )
     cache.set_defaults(func=_cmd_cache)
+
+    profile = sub.add_parser(
+        "profile",
+        help="time one prediction under both fit-grid strategies, stage by stage",
+    )
+    profile.add_argument("--workload", choices=sorted(WORKLOADS), help="workload to simulate")
+    profile.add_argument("--machine", choices=sorted(MACHINES), help="machine to simulate on")
+    profile.add_argument("--input", help="measurement JSON produced by 'estima measure'")
+    profile.add_argument("--measure-cores", type=int, default=None)
+    profile.add_argument("--target-cores", type=int, required=True)
+    profile.add_argument("--checkpoints", type=int, default=2)
+    profile.add_argument("--no-software-stalls", action="store_true")
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the per-strategy stage timings as a JSON document",
+    )
+    profile.set_defaults(func=_cmd_profile)
     return parser
 
 
@@ -404,6 +434,21 @@ def _format_cache_lines(caches) -> list[str]:
     return lines
 
 
+def _format_profile_lines(profile) -> list[str]:
+    """Human-readable per-stage fit timing lines (see repro.engine.profiling)."""
+    lines = []
+    for stage, stats in sorted(profile.items()):
+        calls = int(stats.get("calls", 0))
+        if not calls:
+            continue
+        wall = stats.get("wall_s", 0.0)
+        if wall:
+            lines.append(f"  {stage:>22s}: {calls:>6d} calls  {wall:>9.4f}s wall")
+        else:
+            lines.append(f"  {stage:>22s}: {calls:>6d} events")
+    return lines
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     if args.input:
         measurements = MeasurementSet.load(Path(args.input))
@@ -443,6 +488,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         else nullcontext()
     )
     stats_before = cache_stats()
+    profile_before = PROFILER.snapshot()
     # Enable (and afterwards restore) the global regions only when asked, so
     # in-process callers of main() keep their cache state.
     cache_ctx = caches_enabled(True) if config.use_fit_cache else nullcontext()
@@ -460,6 +506,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     engine_block = {
         "executor": config.executor,
         "caches": _stats_delta(stats_before, cache_stats()),
+        "profile": profile_delta(profile_before, PROFILER.snapshot()),
     }
 
     if args.as_json:
@@ -492,6 +539,10 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         print(f"\nengine: executor={config.executor}")
         cache_lines = _format_cache_lines(engine_block["caches"])
         print("\n".join(cache_lines) if cache_lines else "  (no cache lookups)")
+        profile_lines = _format_profile_lines(engine_block["profile"])
+        if profile_lines:
+            print("fit stages:")
+            print("\n".join(profile_lines))
     return 0
 
 
@@ -612,6 +663,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         if cache_lines:
             print("cache tiers:")
             print("\n".join(cache_lines))
+        profile_lines = _format_profile_lines(stats.get("profile", {}))
+        if profile_lines:
+            print("fit stages:")
+            print("\n".join(profile_lines))
     if args.output:
         print(f"rows written to {args.output}")
     return 0
@@ -939,6 +994,76 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         for region, counts in sorted(regions.items()):
             print(f"  {region:>13s}: {counts['entries']} entries, {counts['bytes']} bytes")
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.input:
+        measurements = MeasurementSet.load(Path(args.input))
+        source = args.input
+    elif args.workload and args.machine:
+        machine = get_machine(args.machine)
+        workload = get_workload(args.workload)
+        cores = args.measure_cores or machine.total_threads
+        measurements = MachineSimulator(machine).sweep(
+            workload, core_counts=[c for c in machine.core_counts() if c <= cores]
+        )
+        source = f"{args.workload} on {args.machine}"
+    else:
+        print("profile needs either --input or both --workload and --machine", file=sys.stderr)
+        return 2
+    if args.measure_cores:
+        measurements = measurements.restrict_to(args.measure_cores)
+
+    from repro.core.fastfit import FIT_STRATEGIES
+
+    legs: dict[str, dict] = {}
+    predictions = {}
+    for strategy in FIT_STRATEGIES:
+        config = EstimaConfig(
+            checkpoints=args.checkpoints,
+            use_software_stalls=not args.no_software_stalls,
+            fit_strategy=strategy,
+        )
+        clear_caches()  # both legs run cold: no fits shared across strategies
+        profile_before = PROFILER.snapshot()
+        started = time.perf_counter()
+        prediction = EstimaPredictor(config).predict(
+            measurements, target_cores=args.target_cores
+        )
+        wall_s = time.perf_counter() - started
+        predictions[strategy] = prediction
+        legs[strategy] = {
+            "wall_s": wall_s,
+            "profile": profile_delta(profile_before, PROFILER.snapshot()),
+        }
+
+    serial, vectorized = (predictions[s] for s in ("serial", "vectorized"))
+    rows_identical = bool(
+        np.array_equal(serial.predicted_times, vectorized.predicted_times)
+        and np.array_equal(serial.prediction_cores, vectorized.prediction_cores)
+    )
+    speedup = legs["serial"]["wall_s"] / max(legs["vectorized"]["wall_s"], 1e-9)
+
+    if args.as_json:
+        payload = {
+            "source": source,
+            "target_cores": args.target_cores,
+            "strategies": legs,
+            "speedup": speedup,
+            "rows_identical": rows_identical,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if rows_identical else 1
+
+    print(f"profile: {source}, target {args.target_cores} cores (cold caches)")
+    for strategy in FIT_STRATEGIES:
+        leg = legs[strategy]
+        print(f"\n{strategy}: {leg['wall_s']:.3f}s")
+        lines = _format_profile_lines(leg["profile"])
+        print("\n".join(lines) if lines else "  (no instrumented stages ran)")
+    print(f"\nspeedup: {speedup:.2f}x (serial/vectorized)")
+    print(f"predicted rows identical: {'yes' if rows_identical else 'NO'}")
+    return 0 if rows_identical else 1
 
 
 def main(argv: list[str] | None = None) -> int:

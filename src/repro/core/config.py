@@ -130,11 +130,22 @@ class EstimaConfig:
         Retries per backend host (beyond the first attempt, exponential
         backoff) before failing over to the next ring node.
         ``ESTIMA_REMOTE_RETRIES`` overrides the CLI default.
+    fit_strategy:
+        How the Section-3.1.2 (prefix, kernel) fit grid is computed:
+        ``"vectorized"`` (the batched engine of :mod:`repro.core.fastfit` —
+        prefix-shared linear solves, a lean reference-equal LM/TRF driver
+        with batched Jacobians, batched candidate screening) or
+        ``"serial"`` (the scalar reference loop).  ``None`` (the default)
+        defers to ``ESTIMA_FIT_STRATEGY``, falling back to ``"vectorized"``.
+        Both strategies produce bit-identical chosen fits and predicted
+        rows; the strategy therefore never takes part in cache keys.
+        (``ESTIMA_FIT_SCREEN=prune`` opts into multi-start pruning, the one
+        mode that may differ within multi-start selection noise.)
 
     None of the engine knobs (``executor``, ``max_workers``,
     ``use_fit_cache``, ``cache_*``, ``serve_*``, ``route_backends``,
-    ``remote_*``) affect predicted numbers — only how fast (and where) they
-    are produced.
+    ``remote_*``, ``fit_strategy``) affect predicted numbers — only how
+    fast (and where) they are produced.
     """
 
     kernel_names: tuple[str, ...] = DEFAULT_KERNEL_NAMES
@@ -161,6 +172,7 @@ class EstimaConfig:
     route_backends: str | None = None
     remote_timeout: float = 30.0
     remote_retries: int = 2
+    fit_strategy: str | None = None
 
     def __post_init__(self) -> None:
         # Engine imports are deferred to the call: repro.engine.cache is a
@@ -243,6 +255,13 @@ class EstimaConfig:
         parse_remote_retries(self.remote_retries)  # raises when malformed
         remote_timeout_from_env()  # validates ESTIMA_REMOTE_TIMEOUT
         remote_retries_from_env()  # validates ESTIMA_REMOTE_RETRIES
+        # Core sibling import, also deferred: fastfit pulls in scipy via
+        # repro.core.fitting, which config must not require at module scope.
+        from repro.core.fastfit import fit_strategy_from_env, parse_fit_strategy
+
+        if self.fit_strategy is not None:
+            parse_fit_strategy(self.fit_strategy)
+        fit_strategy_from_env()  # validates ESTIMA_FIT_STRATEGY
         if self.frequency_ratio <= 0.0:
             raise ValueError("frequency_ratio must be positive")
         if self.dataset_ratio <= 0.0:

@@ -1,0 +1,719 @@
+"""Vectorized fit-grid engine for the Section-3.1.2 prefix sweep.
+
+The prefix sweep of :mod:`repro.core.regression` fits every (kernel,
+training-prefix) pair of Table 1 — `O(prefixes x kernels x starts)` separate
+solver calls.  Profiling (see :mod:`repro.engine.profiling`) shows a cold
+campaign spends essentially all of its time inside the iterative LM/TRF
+solves of the non-linear kernels, most of which lose the multi-start
+selection anyway.  This module restructures that work with batched numpy
+linear algebra while keeping the *chosen numbers* bit-identical to the
+scalar reference path in :mod:`repro.core.fitting`:
+
+1. **prefix-shared linear solves** — for the linear-in-parameters kernels
+   (``CubicLn``/``Poly25``) the design matrix of prefix ``p`` is the first
+   ``p`` rows of the full-series matrix, so the sweep builds one matrix and
+   slices it per prefix (each slice is still solved with the exact
+   ``lstsq`` call of the reference path, so parameters are bit-identical);
+2. **a lean reference-equal non-linear driver** — profiling shows the tiny
+   (3-13 point) per-cell solves spend most of their wall time in
+   ``scipy.optimize.least_squares``'s generic wrapper layers, not in the
+   actual LM/TRF iteration.  The lean driver invokes the same underlying
+   machinery directly (``_minpack._lmder`` for determined cells, the
+   trust-region ``trf`` loop for under-determined ones) with the exact
+   tolerances, scalings and finite-difference steps the wrapper would have
+   produced, and evaluates each finite-difference Jacobian as one stacked
+   ``(params, points)`` kernel broadcast instead of a per-column Python
+   loop.  Every floating-point operation the solver sees is the same, in
+   the same order, so the resulting parameters are bit-identical to the
+   scalar path's (asserted by a seeded cross-check in the test suite).
+   When the private scipy entry points are unavailable the engine falls
+   back to the reference call per cell;
+3. **batched candidate screening** — the realism predicate and the
+   checkpoint-RMSE scoring evaluate all surviving candidates over the
+   evaluation range / checkpoints as one stacked ``(candidates, points)``
+   kernel broadcast instead of a per-candidate Python loop (kernel
+   evaluation is elementwise, so the stacked values are bit-identical to
+   the per-candidate ones).
+
+A fourth transformation — batched damped-Gauss-Newton *screening* of all
+(start, prefix) cells at once, handing only the top-ranked starts to the
+real solver — is implemented but **opt-in** (``ESTIMA_FIT_SCREEN=prune``):
+measurement shows the reference solver regularly escapes to better basins
+than the screening iteration reaches from the same start, so screened
+ranks cannot guarantee the multi-start winner and pruning trades
+bit-identity for speed.  The default mode solves every start exactly.
+
+Strategy selection lives here too: ``EstimaConfig(fit_strategy=...)`` or
+``ESTIMA_FIT_STRATEGY`` chooses ``"vectorized"`` (the default) or
+``"serial"`` (the reference scalar loop).  The strategy never takes part in
+cache keys — both strategies produce identical fits, so they share cache
+entries (the grid probes and fills the engine's fit cache with the same
+per-cell keys and hit/miss accounting as the scalar path).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.cache import FIT_CACHE, fit_key
+from repro.engine.profiling import PROFILER
+
+from .fitting import (
+    SCORE_TIE_REL,
+    FittedFunction,
+    _LM_LOCK,
+    _finish_nonlinear,
+    _linear_design,
+    _linear_fit,
+    _multi_start_fits,
+    _norm_scale,
+    _residuals,
+    _solve_start,
+    _validate_series,
+)
+from .kernels import _DENOM_EPS, Kernel
+from .metrics import rmse
+
+try:  # pragma: no cover - exercised indirectly by the solver identity tests
+    from scipy.optimize import _minpack as _sp_minpack
+    from scipy.optimize._lsq.least_squares import check_x_scale as _sp_check_x_scale
+    from scipy.optimize._lsq.trf import trf as _sp_trf
+    from scipy.optimize._numdiff import (
+        _compute_absolute_step as _sp_compute_absolute_step,
+    )
+
+    LEAN_SOLVER_AVAILABLE = True
+except ImportError:  # pragma: no cover - older/newer scipy layouts
+    LEAN_SOLVER_AVAILABLE = False
+
+__all__ = [
+    "FIT_STRATEGIES",
+    "DEFAULT_FIT_STRATEGY",
+    "ENV_FIT_STRATEGY",
+    "ENV_FIT_SCREEN",
+    "SCREEN_MODES",
+    "LEAN_SOLVER_AVAILABLE",
+    "parse_fit_strategy",
+    "fit_strategy_from_env",
+    "resolve_fit_strategy",
+    "screen_mode_from_env",
+    "fit_grid",
+    "screen_candidates",
+]
+
+#: Environment variable selecting the fit-grid strategy.
+ENV_FIT_STRATEGY = "ESTIMA_FIT_STRATEGY"
+
+#: Recognised strategies: the scalar reference loop and this engine.
+FIT_STRATEGIES = ("serial", "vectorized")
+
+#: Used when neither the config field nor the environment picks one.
+DEFAULT_FIT_STRATEGY = "vectorized"
+
+#: Environment variable selecting the multi-start screening mode of the
+#: vectorized engine: ``off`` (default — every start is solved exactly) or
+#: ``prune`` (batched screening ranks the starts and only likely winners are
+#: solved; faster, but the chosen fit may differ from the reference path
+#: within multi-start selection noise).
+ENV_FIT_SCREEN = "ESTIMA_FIT_SCREEN"
+
+#: Recognised screening modes.
+SCREEN_MODES = ("off", "prune")
+
+#: Damped Gauss-Newton iterations of the batched screening pass.  Enough to
+#: land in (or very near) the basin the real solver would reach from the
+#: same start on these tiny (<= 7 parameter, <= ~20 point) problems.
+SCREEN_ITERS = 50
+
+#: A start is handed to the real solver when its screened training RMSE is
+#: within this relative margin of the best screened start of its cell.
+#: Screened losses slightly overestimate fully-converged losses, so the
+#: margin is generous relative to ``SCORE_TIE_REL``.
+SCREEN_KEEP_REL = 0.25
+
+#: Two screened parameter vectors closer than this (relative, per
+#: component) are treated as one basin; only the earlier start is solved —
+#: the scalar path's epsilon tie-break would keep the earlier start anyway.
+SCREEN_BASIN_TOL = 1e-2
+
+#: Cells whose best screened RMSE (normalised) is at or below this floor are
+#: *perfect-fit* cells: the model can drive the training residual to the
+#: solver's stopping tolerance, so the scalar path's multi-start winner is
+#: decided by per-start solver stopping noise — rmse differences far larger
+#: than ``SCORE_TIE_REL`` that deep screening convergence cannot predict.
+#: Such cells run every start through the reference solver; pruning applies
+#: only to data-limited cells, where same-basin solver runs stop within
+#: ``ftol`` of each other (a tie under the epsilon rule).
+SCREEN_NOISE_ABS = 1e-5
+
+#: Screened RMSE at or above this means the screening iteration never found
+#: a finite residual for that start (divergence).  The real solver is more
+#: robust than the screening pass, so such starts are never pruned and
+#: never take part in basin deduplication.
+SCREEN_DIVERGED = 1e5
+
+
+# --------------------------------------------------------------------------- #
+# Strategy selection
+# --------------------------------------------------------------------------- #
+
+
+def parse_fit_strategy(value: object, *, source: str = "fit_strategy") -> str:
+    """Validate a strategy token; raises ``ValueError`` naming its source."""
+    token = str(value).strip().lower()
+    if token in FIT_STRATEGIES:
+        return token
+    raise ValueError(
+        f"invalid {source}={value!r}: expected one of {', '.join(FIT_STRATEGIES)}"
+    )
+
+
+def fit_strategy_from_env() -> str | None:
+    """The validated ``ESTIMA_FIT_STRATEGY`` value, or None when unset/blank."""
+    raw = os.environ.get(ENV_FIT_STRATEGY)
+    if raw is None or not raw.strip():
+        return None
+    return parse_fit_strategy(raw, source=ENV_FIT_STRATEGY)
+
+
+def resolve_fit_strategy(config: object) -> str:
+    """Strategy for a run: explicit config field, else environment, else default."""
+    value = getattr(config, "fit_strategy", None)
+    if value is not None:
+        return parse_fit_strategy(value)
+    env = fit_strategy_from_env()
+    return env if env is not None else DEFAULT_FIT_STRATEGY
+
+
+def screen_mode_from_env() -> str:
+    """The validated ``ESTIMA_FIT_SCREEN`` mode (``off`` when unset/blank)."""
+    raw = os.environ.get(ENV_FIT_SCREEN)
+    if raw is None or not raw.strip():
+        return "off"
+    token = raw.strip().lower()
+    if token in SCREEN_MODES:
+        return token
+    raise ValueError(
+        f"invalid {ENV_FIT_SCREEN}={raw!r}: expected one of {', '.join(SCREEN_MODES)}"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Lean reference-equal non-linear driver
+# --------------------------------------------------------------------------- #
+
+
+def _lean_fun_jac(kernel: Kernel, x: np.ndarray, y_norm: np.ndarray):
+    """A ``(fun, jac)`` pair producing the reference solver's exact values.
+
+    ``fun`` wraps the scalar path's residual closure
+    (:func:`repro.core.fitting._residuals`) with the same single-point
+    memoisation ``scipy``'s ``VectorFunction`` applies, so the solver's
+    fun-then-jac call pattern costs one evaluation per point.  ``jac``
+    rebuilds the wrapper's 2-point finite-difference Jacobian — scipy's own
+    ``_compute_absolute_step`` supplies the steps, and the bumped parameter
+    vectors are evaluated as one stacked kernel broadcast whose rows are
+    elementwise-identical to the per-column evaluations of the wrapper's
+    ``approx_derivative`` loop.
+    """
+    resid = _residuals(kernel, x, y_norm)
+    memo: dict[bytes, np.ndarray] = {}
+
+    def fun(params: np.ndarray) -> np.ndarray:
+        key = params.tobytes()
+        value = memo.get(key)
+        if value is None:
+            value = np.atleast_1d(resid(params))
+            memo.clear()
+            memo[key] = value
+        return value.copy()
+
+    def jac(params: np.ndarray, f0: np.ndarray | None = None) -> np.ndarray:
+        f_at = fun(params)
+        h = _sp_compute_absolute_step(None, params, f_at, "2-point")
+        n = params.size
+        bumped = np.tile(params, (n, 1))
+        diag = np.arange(n)
+        bumped[diag, diag] = params + h
+        res = _eval_rows(kernel, x, bumped) - y_norm
+        rows = np.where(np.isfinite(res), res, 1e6)
+        dx = (params + h) - params
+        return ((rows - f_at) / dx[:, None]).T
+
+    return fun, jac
+
+
+def _lean_solve_start(
+    kernel: Kernel,
+    x: np.ndarray,
+    y_norm: np.ndarray,
+    guess: Sequence[float],
+    *,
+    underdetermined: bool,
+    max_nfev: int,
+) -> np.ndarray | None:
+    """Bit-identical twin of :func:`repro.core.fitting._solve_start`.
+
+    Drives the same MINPACK ``lmder`` / trust-region ``trf`` iteration the
+    reference call reaches through ``scipy.optimize.least_squares``, with
+    the wrapper's exact tolerances (``ftol=xtol=gtol=1e-8``), scaling and
+    Jacobian values, but without its per-call validation and
+    ``VectorFunction`` plumbing — which dominates wall time on these tiny
+    problems.  Returns the same parameters (or ``None``) the reference call
+    would for every input.
+    """
+    fun, jac = _lean_fun_jac(kernel, x, y_norm)
+    x0 = np.asarray(guess, dtype=float)
+    try:
+        with PROFILER.stage("nonlinear_solve"):
+            f0 = fun(x0)
+            if not np.all(np.isfinite(f0)):
+                # least_squares rejects non-finite initial residuals.
+                return None
+            if underdetermined:
+                result = _sp_trf(
+                    fun,
+                    jac,
+                    x0,
+                    f0,
+                    jac(x0),
+                    np.full(x0.size, -np.inf),
+                    np.full(x0.size, np.inf),
+                    1e-8,
+                    1e-8,
+                    1e-8,
+                    max_nfev,
+                    _sp_check_x_scale(None, x0, "trf"),
+                    None,
+                    "exact",
+                    {},
+                    0,
+                )
+                solved = result.x
+            else:
+                with _LM_LOCK:
+                    solved, _info, _status = _sp_minpack._lmder(
+                        fun,
+                        jac,
+                        x0.astype(x0.dtype),
+                        (),
+                        True,
+                        False,
+                        1e-8,
+                        1e-8,
+                        1e-8,
+                        max_nfev,
+                        100.0,
+                        None,
+                    )
+    except (ValueError, FloatingPointError):
+        return None
+    if not np.all(np.isfinite(solved)):
+        return None
+    return solved
+
+
+def _nonlinear_solve(
+    kernel: Kernel,
+    x: np.ndarray,
+    y_norm: np.ndarray,
+    guess: Sequence[float],
+    *,
+    underdetermined: bool,
+    max_nfev: int,
+) -> np.ndarray | None:
+    """One start through the lean driver, or the reference call as fallback."""
+    if not LEAN_SOLVER_AVAILABLE:
+        return _solve_start(
+            kernel, x, y_norm, guess, underdetermined=underdetermined, max_nfev=max_nfev
+        )
+    return _lean_solve_start(
+        kernel, x, y_norm, guess, underdetermined=underdetermined, max_nfev=max_nfev
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Batched kernel evaluation
+# --------------------------------------------------------------------------- #
+
+
+def _eval_rows(kernel: Kernel, n: np.ndarray, params: np.ndarray) -> np.ndarray:
+    """Evaluate ``kernel`` at ``n`` for a stack of parameter rows.
+
+    ``params`` has shape ``(..., n_params)``; each parameter becomes a
+    broadcast column, so the result has shape ``(..., len(n))``.  Kernel
+    functions are plain elementwise numpy expressions, so every output
+    element is bit-identical to a scalar-parameter evaluation with the same
+    parameter values.
+    """
+    cols = [params[..., j][..., None] for j in range(params.shape[-1])]
+    return np.asarray(kernel.func(n, *cols), dtype=float)
+
+
+def _batched_denominator(kernel_name: str, params: np.ndarray, n: np.ndarray) -> np.ndarray:
+    """Row-stacked twin of :func:`repro.core.kernels._rational_denominator`."""
+    p = params
+    if kernel_name == "Rat22":
+        return 1.0 + p[..., [3]] * n + p[..., [4]] * n**2
+    if kernel_name == "Rat23":
+        return 1.0 + p[..., [3]] * n + p[..., [4]] * n**2 + p[..., [5]] * n**3
+    if kernel_name == "Rat33":
+        return 1.0 + p[..., [4]] * n + p[..., [5]] * n**2 + p[..., [6]] * n**3
+    if kernel_name == "ExpRat":
+        return p[..., [2]] + p[..., [3]] * n
+    raise ValueError(f"{kernel_name} is not a rational kernel")
+
+
+# --------------------------------------------------------------------------- #
+# Batched multi-start screening
+# --------------------------------------------------------------------------- #
+
+
+def _screen_kernel(
+    kernel: Kernel,
+    x: np.ndarray,
+    y: np.ndarray,
+    prefixes: Sequence[int],
+    scales: dict[int, float],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Screen all (start, prefix) cells of one non-linear kernel at once.
+
+    Runs :data:`SCREEN_ITERS` damped Gauss-Newton steps on the normalised
+    residuals of every cell simultaneously (finite-difference Jacobians,
+    per-cell adaptive damping, step acceptance by loss decrease — a batched
+    Levenberg-Marquardt in all but pedigree).  Returns ``(screened_rmse,
+    screened_params)`` with shapes ``(starts, len(prefixes))`` and
+    ``(starts, len(prefixes), n_params)``.  The output only *ranks* starts;
+    every fit that leaves this module is produced by the reference solver.
+    """
+    guesses = np.asarray(kernel.initial_guesses, dtype=float)  # (S, K)
+    n_starts, n_params = guesses.shape
+    n_cells = len(prefixes)
+    width = max(prefixes)
+    xs = x[:width]
+
+    # Per-prefix normalised targets and validity masks over a shared width.
+    y_rows = np.empty((n_cells, width))
+    mask = np.zeros((n_cells, width), dtype=bool)
+    counts = np.asarray(prefixes, dtype=float)
+    for i, p in enumerate(prefixes):
+        y_rows[i, :p] = y[:p] / scales[p]
+        y_rows[i, p:] = 0.0
+        mask[i, :p] = True
+
+    params = np.broadcast_to(guesses[:, None, :], (n_starts, n_cells, n_params)).copy()
+
+    def residuals(cells: np.ndarray) -> np.ndarray:
+        values = _eval_rows(kernel, xs, cells)
+        res = values - y_rows
+        res = np.where(np.isfinite(res), res, 1e6)
+        return np.where(mask, res, 0.0)
+
+    eye = np.eye(n_params)
+    lam = np.full((n_starts, n_cells), 1e-3)
+    with np.errstate(all="ignore"):
+        res = residuals(params)
+        sse = np.sum(res**2, axis=-1)
+        stalled = 0
+        for _ in range(SCREEN_ITERS):
+            jac = np.empty((n_starts, n_cells, width, n_params))
+            steps = 1e-6 * np.maximum(np.abs(params), 1.0)
+            for j in range(n_params):
+                bumped = params.copy()
+                bumped[..., j] += steps[..., j]
+                jac[..., j] = (residuals(bumped) - res) / steps[..., j][..., None]
+            jtj = np.einsum("scnk,scnl->sckl", jac, jac)
+            grad = np.einsum("scnk,scn->sck", jac, res)
+            damping = np.einsum("sckk->sck", jtj)[..., None] * eye
+            system = jtj + lam[..., None, None] * damping + 1e-12 * eye
+            delta = _solve_steps(system, grad)
+            trial = params + delta
+            trial_res = residuals(trial)
+            trial_sse = np.sum(trial_res**2, axis=-1)
+            improved = (
+                np.all(np.isfinite(trial), axis=-1)
+                & np.isfinite(trial_sse)
+                & (trial_sse < sse)
+            )
+            params = np.where(improved[..., None], trial, params)
+            res = np.where(improved[..., None], trial_res, res)
+            sse = np.where(improved, trial_sse, sse)
+            lam = np.clip(np.where(improved, lam * 0.3, lam * 5.0), 1e-10, 1e10)
+            stalled = 0 if bool(np.any(improved)) else stalled + 1
+            if stalled >= 3:
+                break
+    screened_rmse = np.sqrt(sse / counts)
+    return screened_rmse, params
+
+
+def _solve_steps(system: np.ndarray, grad: np.ndarray) -> np.ndarray:
+    """Batched solve of the damped normal equations, robust to singular cells."""
+    try:
+        return np.linalg.solve(system, -grad[..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        pass
+    try:
+        return -(np.linalg.pinv(system) @ grad[..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        return np.zeros_like(grad)
+
+
+def _same_basin(a: np.ndarray, b: np.ndarray) -> bool:
+    """Whether two screened parameter vectors describe the same optimum."""
+    tol = SCREEN_BASIN_TOL * np.maximum(1.0, np.maximum(np.abs(a), np.abs(b)))
+    return bool(np.all(np.abs(a - b) <= tol))
+
+
+def _fit_cell(
+    kernel: Kernel,
+    xp: np.ndarray,
+    yp: np.ndarray,
+    scale: float,
+    screened_rmse: np.ndarray,
+    screened_params: np.ndarray,
+    max_nfev: int,
+) -> FittedFunction | None:
+    """Solve one (kernel, prefix) cell using the screening verdicts.
+
+    In *data-limited* cells (best screened loss above
+    :data:`SCREEN_NOISE_ABS`) only the starts whose screened loss is within
+    :data:`SCREEN_KEEP_REL` of the cell's best — deduplicated by basin,
+    keeping the earliest start — are run through the reference solver.  In
+    *perfect-fit* cells the winner is solver stopping noise, which screening
+    cannot rank, so every start runs.  The multi-start selection then
+    replays the scalar path's epsilon loop over the solved fits in start
+    order.  If every surviving start fails to solve, the cell falls back to
+    the full scalar multi-start, so a pruned cell can never lose a fit the
+    reference path would have found.
+    """
+    y_norm = yp / scale
+    underdetermined = xp.size < kernel.n_params
+    n_starts = len(kernel.initial_guesses)
+
+    best_screen = float(np.min(screened_rmse))
+    if best_screen <= SCREEN_NOISE_ABS:
+        # Perfect-fit cell: solve everything, exactly like the scalar path.
+        survivors = list(range(n_starts))
+    else:
+        survivors = []
+        for s in range(n_starts):
+            if screened_rmse[s] >= SCREEN_DIVERGED:
+                # Screening diverged; its params are meaningless, so the
+                # start can neither be ranked nor basin-compared.  Solve it.
+                survivors.append(s)
+                continue
+            if screened_rmse[s] > best_screen * (1.0 + SCREEN_KEEP_REL):
+                continue
+            if any(
+                screened_rmse[r] < SCREEN_DIVERGED
+                and _same_basin(screened_params[s], screened_params[r])
+                for r in survivors
+            ):
+                continue
+            survivors.append(s)
+    PROFILER.count("nonlinear_starts_pruned", n_starts - len(survivors))
+
+    fits: list[FittedFunction] = []
+    for s in survivors:
+        solved = _nonlinear_solve(
+            kernel,
+            xp,
+            y_norm,
+            kernel.initial_guesses[s],
+            underdetermined=underdetermined,
+            max_nfev=max_nfev,
+        )
+        if solved is None:
+            continue
+        fit = _finish_nonlinear(kernel, xp, y_norm, scale, solved)
+        if fit is not None:
+            fits.append(fit)
+
+    if not fits:
+        # Every screened survivor failed; replay the reference multi-start in
+        # full so the cell's outcome matches the scalar path exactly.
+        PROFILER.count("screen_fallbacks", 1)
+        fits = _multi_start_fits(kernel, xp, yp, max_nfev=max_nfev)
+
+    best: FittedFunction | None = None
+    for fit in fits:
+        if best is None or fit.train_rmse < best.train_rmse * (1.0 - SCORE_TIE_REL):
+            best = fit
+    return best
+
+
+def _exact_cell(
+    kernel: Kernel,
+    xp: np.ndarray,
+    yp: np.ndarray,
+    scale: float,
+    max_nfev: int,
+) -> FittedFunction | None:
+    """Solve one (kernel, prefix) cell exactly — every start, lean driver.
+
+    Mirrors the scalar path's multi-start loop and epsilon selection
+    (:func:`repro.core.fitting._multi_start_fits` followed by the
+    best-of-starts rule of ``fit_kernel``); the only difference is the
+    solver invocation, which is bit-identical by construction.
+    """
+    y_norm = yp / scale
+    underdetermined = xp.size < kernel.n_params
+    best: FittedFunction | None = None
+    for guess in kernel.initial_guesses:
+        solved = _nonlinear_solve(
+            kernel, xp, y_norm, guess, underdetermined=underdetermined, max_nfev=max_nfev
+        )
+        if solved is None:
+            continue
+        fit = _finish_nonlinear(kernel, xp, y_norm, scale, solved)
+        if fit is None:
+            continue
+        if best is None or fit.train_rmse < best.train_rmse * (1.0 - SCORE_TIE_REL):
+            best = fit
+    return best
+
+
+# --------------------------------------------------------------------------- #
+# The grid
+# --------------------------------------------------------------------------- #
+
+
+def fit_grid(
+    kernels: Sequence[Kernel],
+    cores: np.ndarray,
+    values: np.ndarray,
+    prefixes: Sequence[int],
+    *,
+    max_nfev: int = 600,
+) -> list[FittedFunction | None]:
+    """Fit every (prefix, kernel) cell; returns fits in the sweep's grid order.
+
+    The result list matches ``[(p, k) for p in prefixes for k in kernels]``
+    positionally — exactly what the scalar sweep produces cell by cell.
+    When the engine's fit cache is enabled, every cell is probed and filled
+    under the same content key (and with the same per-cell hit/miss
+    accounting) as the scalar path's ``fit_kernel`` calls, so warm entries
+    are shared across strategies in both directions.
+    """
+    validated = _validate_series(cores, values)
+    if validated is None:
+        return [None] * (len(prefixes) * len(kernels))
+    x, y = validated
+    prefixes = [int(p) for p in prefixes]
+    scales = {p: _norm_scale(y[:p]) for p in prefixes}
+
+    fits: dict[tuple[int, str], FittedFunction | None] = {}
+    cached: set[tuple[int, str]] = set()
+    if FIT_CACHE.enabled:
+        for p in prefixes:
+            for kernel in kernels:
+                hit, value = FIT_CACHE.get(fit_key(kernel.name, x[:p], y[:p], max_nfev))
+                if hit:
+                    fits[(p, kernel.name)] = value
+                    cached.add((p, kernel.name))
+
+    prune = screen_mode_from_env() == "prune"
+    for kernel in kernels:
+        todo = [p for p in prefixes if (p, kernel.name) not in fits]
+        if not todo:
+            continue
+        design_full = _linear_design(kernel.name, x)
+        if design_full is not None:
+            for p in todo:
+                fits[(p, kernel.name)] = _linear_fit(
+                    kernel, design_full[:p], x[:p], y[:p] / scales[p], scales[p]
+                )
+            continue
+        if not prune:
+            for p in todo:
+                fits[(p, kernel.name)] = _exact_cell(
+                    kernel, x[:p], y[:p], scales[p], max_nfev
+                )
+            continue
+        with PROFILER.stage("start_screen"):
+            screened_rmse, screened_params = _screen_kernel(kernel, x, y, todo, scales)
+        for i, p in enumerate(todo):
+            fits[(p, kernel.name)] = _fit_cell(
+                kernel,
+                x[:p],
+                y[:p],
+                scales[p],
+                screened_rmse[:, i],
+                screened_params[:, i],
+                max_nfev,
+            )
+
+    if FIT_CACHE.enabled:
+        for (p, name), fit in fits.items():
+            if (p, name) not in cached:
+                FIT_CACHE.put(fit_key(name, x[:p], y[:p], max_nfev), fit)
+
+    return [fits[(p, kernel.name)] for p in prefixes for kernel in kernels]
+
+
+# --------------------------------------------------------------------------- #
+# Batched realism screening + checkpoint scoring
+# --------------------------------------------------------------------------- #
+
+
+def screen_candidates(
+    fitted_grid: Sequence[FittedFunction | None],
+    eval_range: np.ndarray,
+    check_x: np.ndarray,
+    check_y: np.ndarray,
+    *,
+    allow_negative: bool,
+    max_factor: float,
+) -> list[tuple[int, float]]:
+    """Batched Section-3.1.2 screening of a fitted grid.
+
+    Returns ``(grid_index, checkpoint_rmse)`` for every candidate that
+    passes the realism predicate and scores finitely at the checkpoints, in
+    grid order — the same pairs the scalar screening loop produces, because
+    the stacked kernel evaluation is elementwise-identical to the
+    per-candidate one and the per-row RMSE reduces each row exactly like
+    the scalar :func:`repro.core.metrics.rmse`.
+    """
+    present: dict[str, list[tuple[int, FittedFunction]]] = {}
+    for index, fitted in enumerate(fitted_grid):
+        if fitted is not None:
+            present.setdefault(fitted.name, []).append((index, fitted))
+
+    scores: dict[int, float] = {}
+    for name, members in present.items():
+        kernel = members[0][1].kernel
+        params = np.asarray([fit.params for _, fit in members], dtype=float)
+        scale_col = np.asarray([fit.scale for _, fit in members], dtype=float)[:, None]
+
+        with PROFILER.stage("realism_screen"), np.errstate(all="ignore"):
+            if kernel.rational:
+                den = _batched_denominator(name, params, eval_range)
+                pole = np.any(np.abs(den) < _DENOM_EPS, axis=-1) | np.any(
+                    den[..., :-1] * den[..., 1:] < 0.0, axis=-1
+                )
+            else:
+                pole = np.zeros(len(members), dtype=bool)
+            values = _eval_rows(kernel, eval_range, params) * scale_col
+            finite = np.all(np.isfinite(values), axis=-1)
+            realistic = ~pole & finite & ~np.any(np.abs(values) > max_factor, axis=-1)
+            if not allow_negative:
+                realistic &= ~np.any(values < 0.0, axis=-1)
+
+        kept = [member for member, ok in zip(members, realistic) if ok]
+        if not kept:
+            continue
+        with PROFILER.stage("checkpoint_score"):
+            kept_params = np.asarray([fit.params for _, fit in kept], dtype=float)
+            kept_scales = np.asarray([fit.scale for _, fit in kept], dtype=float)[:, None]
+            predicted = _eval_rows(kernel, check_x, kept_params) * kept_scales
+            for (index, _fit), row in zip(kept, predicted):
+                if not np.all(np.isfinite(row)):
+                    continue
+                score = rmse(row, check_y)
+                if np.isfinite(score):
+                    scores[index] = score
+
+    return [(index, scores[index]) for index in sorted(scores)]

@@ -20,6 +20,15 @@ or ``ESTIMA_FIT_CACHE=1``), :func:`fit_kernel` results are memoized
 content-addressed on (kernel name, core counts, value bytes, ``max_nfev``);
 see :mod:`repro.engine.cache`.  Fits are deterministic, so a cached result is
 bit-identical to a recomputed one.
+
+The single-solve primitives (``_solve_start``, ``_linear_fit``,
+``_finish_nonlinear``) are deliberately free-standing: the vectorized grid
+engine (:mod:`repro.core.fastfit`) builds its cells from exactly these
+pieces (its lean driver reproduces ``_solve_start`` bit for bit and falls
+back to it when scipy's private entry points are unavailable), so both
+strategies choose identical fits.  The solvers are wrapped in the engine
+profiler's ``design_solve`` / ``nonlinear_solve`` stages (see
+:mod:`repro.engine.profiling`).
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ import numpy as np
 from scipy import optimize
 
 from repro.engine.cache import FIT_CACHE, fit_key
+from repro.engine.profiling import PROFILER
 
 from .kernels import Kernel
 
@@ -124,51 +134,57 @@ def _linear_design(kernel_name: str, x: np.ndarray) -> np.ndarray | None:
     return None
 
 
-def _multi_start_fits(
-    kernel: Kernel,
-    x: np.ndarray,
-    y: np.ndarray,
-    *,
-    max_nfev: int,
-) -> list[FittedFunction]:
-    """Every converged fit of ``kernel`` to a validated, finite series.
-
-    Kernels that are linear in their parameters are solved directly by
-    ordinary least squares (one exact solution, no multi-start).  Otherwise
-    each initial guess is tried with non-linear least squares.  With fewer
-    points than parameters the problem is under-determined; Levenberg-
-    Marquardt cannot be used, but a trust-region solve from each starting
-    point still yields a usable (if weakly constrained) fit — this matters
-    for very short measurement series such as the 3-point memcached desktop
-    runs of Section 4.3.
-    """
-    underdetermined = x.size < kernel.n_params
+def _norm_scale(y: np.ndarray) -> float:
+    """Normalisation scale of a training slice (mean |y|, guarded)."""
     scale = float(np.mean(np.abs(y)))
     if scale == 0.0 or not np.isfinite(scale):
         scale = 1.0
-    y_norm = y / scale
-    train_cores = tuple(int(c) for c in x)
+    return scale
 
-    design = _linear_design(kernel.name, x)
-    if design is not None:
+
+def _linear_fit(
+    kernel: Kernel, design: np.ndarray, x: np.ndarray, y_norm: np.ndarray, scale: float
+) -> FittedFunction | None:
+    """Exact least-squares solve of a linear-in-parameters kernel.
+
+    ``design`` must be the design matrix of ``x`` (callers may slice a
+    precomputed full-series matrix; the rows are built elementwise, so a
+    slice is bit-identical to building the matrix on the prefix directly).
+    """
+    with PROFILER.stage("design_solve"):
         params, *_ = np.linalg.lstsq(design, y_norm, rcond=None)
-        if not np.all(np.isfinite(params)):
-            return []
-        pred = design @ params
-        rmse = float(np.sqrt(np.mean((pred - y_norm) ** 2))) * scale
-        return [
-            FittedFunction(
-                kernel=kernel,
-                params=tuple(float(p) for p in params),
-                scale=scale,
-                train_cores=train_cores,
-                train_rmse=rmse,
-            )
-        ]
+    if not np.all(np.isfinite(params)):
+        return None
+    pred = design @ params
+    rmse = float(np.sqrt(np.mean((pred - y_norm) ** 2))) * scale
+    return FittedFunction(
+        kernel=kernel,
+        params=tuple(float(p) for p in params),
+        scale=scale,
+        train_cores=tuple(int(c) for c in x),
+        train_rmse=rmse,
+    )
 
-    fits: list[FittedFunction] = []
-    for guess in kernel.initial_guesses:
-        try:
+
+def _solve_start(
+    kernel: Kernel,
+    x: np.ndarray,
+    y_norm: np.ndarray,
+    guess: Sequence[float],
+    *,
+    underdetermined: bool,
+    max_nfev: int,
+) -> np.ndarray | None:
+    """One iterative solve from one starting point — THE reference solver call.
+
+    Every non-linear solve in the system goes through this function (the
+    scalar multi-start loop and the vectorized engine's surviving starts
+    alike), so two paths that solve the same (kernel, series, guess) get
+    bit-identical parameters.  Returns ``None`` when the solver raises or
+    lands on non-finite parameters.
+    """
+    try:
+        with PROFILER.stage("nonlinear_solve"):
             if underdetermined:
                 result = optimize.least_squares(
                     _residuals(kernel, x, y_norm),
@@ -184,35 +200,94 @@ def _multi_start_fits(
                         method="lm",
                         max_nfev=max_nfev,
                     )
-        except (ValueError, FloatingPointError):
-            continue
-        if not np.all(np.isfinite(result.x)):
-            continue
-        pred = kernel.func(x, *result.x)
-        if not np.all(np.isfinite(pred)):
-            continue
-        rmse = float(np.sqrt(np.mean((pred - y_norm) ** 2))) * scale
-        fits.append(
-            FittedFunction(
-                kernel=kernel,
-                params=tuple(float(p) for p in result.x),
-                scale=scale,
-                train_cores=train_cores,
-                train_rmse=rmse,
-            )
+    except (ValueError, FloatingPointError):
+        return None
+    if not np.all(np.isfinite(result.x)):
+        return None
+    return result.x
+
+
+def _finish_nonlinear(
+    kernel: Kernel, x: np.ndarray, y_norm: np.ndarray, scale: float, params: np.ndarray
+) -> FittedFunction | None:
+    """Wrap solved parameters into a FittedFunction (None when pred blows up)."""
+    pred = kernel.func(x, *params)
+    if not np.all(np.isfinite(pred)):
+        return None
+    rmse = float(np.sqrt(np.mean((pred - y_norm) ** 2))) * scale
+    return FittedFunction(
+        kernel=kernel,
+        params=tuple(float(p) for p in params),
+        scale=scale,
+        train_cores=tuple(int(c) for c in x),
+        train_rmse=rmse,
+    )
+
+
+def _multi_start_fits(
+    kernel: Kernel,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    max_nfev: int,
+    design: np.ndarray | None = None,
+) -> list[FittedFunction]:
+    """Every converged fit of ``kernel`` to a validated, finite series.
+
+    Kernels that are linear in their parameters are solved directly by
+    ordinary least squares (one exact solution, no multi-start).  Otherwise
+    each initial guess is tried with non-linear least squares.  With fewer
+    points than parameters the problem is under-determined; Levenberg-
+    Marquardt cannot be used, but a trust-region solve from each starting
+    point still yields a usable (if weakly constrained) fit — this matters
+    for very short measurement series such as the 3-point memcached desktop
+    runs of Section 4.3.
+
+    ``design`` optionally supplies a precomputed design matrix for the
+    linear kernels (the prefix sweep slices one full-series matrix instead
+    of rebuilding identical rows per prefix); it must match ``x``.
+    """
+    scale = _norm_scale(y)
+    y_norm = y / scale
+
+    if design is None:
+        design = _linear_design(kernel.name, x)
+    if design is not None:
+        fit = _linear_fit(kernel, design, x, y_norm, scale)
+        return [fit] if fit is not None else []
+
+    underdetermined = x.size < kernel.n_params
+    fits: list[FittedFunction] = []
+    for guess in kernel.initial_guesses:
+        params = _solve_start(
+            kernel, x, y_norm, guess, underdetermined=underdetermined, max_nfev=max_nfev
         )
+        if params is None:
+            continue
+        fit = _finish_nonlinear(kernel, x, y_norm, scale, params)
+        if fit is not None:
+            fits.append(fit)
     return fits
 
 
 def _validate_series(
     cores: Sequence[int] | np.ndarray, values: Sequence[float] | np.ndarray
 ) -> tuple[np.ndarray, np.ndarray] | None:
-    """Shared input validation; ``None`` marks an unfittable series."""
+    """Shared input validation; ``None`` marks an unfittable series.
+
+    Core counts must be finite and strictly positive: a NaN/inf or
+    non-positive count would flow into the ``log`` and rational kernels as
+    a silent NaN fit (the ``log`` design clamps at 1e-9, turning a zero
+    count into a wildly wrong but finite row), so such series are rejected
+    here like non-finite values always were.
+    """
     x = np.asarray(cores, dtype=float)
     y = np.asarray(values, dtype=float)
     if x.ndim != 1 or y.shape != x.shape:
         raise ValueError("cores and values must be 1-D arrays of equal length")
     if x.size < 2:
+        return None
+    if np.any(~np.isfinite(x)) or np.any(x <= 0.0):
         return None
     if np.any(~np.isfinite(y)):
         return None
@@ -225,6 +300,7 @@ def fit_kernel(
     values: Sequence[float] | np.ndarray,
     *,
     max_nfev: int = 600,
+    design: np.ndarray | None = None,
 ) -> FittedFunction | None:
     """Fit ``kernel`` to ``(cores, values)``; return None when nothing converges.
 
@@ -232,6 +308,10 @@ def fit_kernel(
     solution with the lowest training RMSE wins.  Returns ``None`` when the
     series has fewer than two points or when no start converges to a finite
     solution.
+
+    ``design`` optionally passes a precomputed linear design matrix for
+    ``cores`` (see :func:`_multi_start_fits`); it does not take part in the
+    cache key because it is derived from ``cores``.
     """
     validated = _validate_series(cores, values)
     if validated is None:
@@ -240,7 +320,7 @@ def fit_kernel(
 
     def compute() -> FittedFunction | None:
         best: FittedFunction | None = None
-        for candidate in _multi_start_fits(kernel, x, y, max_nfev=max_nfev):
+        for candidate in _multi_start_fits(kernel, x, y, max_nfev=max_nfev, design=design):
             if best is None or candidate.train_rmse < best.train_rmse * (1.0 - SCORE_TIE_REL):
                 best = candidate
         return best

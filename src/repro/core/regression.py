@@ -25,9 +25,12 @@ import numpy as np
 
 from repro.engine.cache import EXTRAPOLATION_CACHE, extrapolation_key
 from repro.engine.executor import fit_pool_for_config
+from repro.engine.profiling import PROFILER
 
+from . import fastfit
 from .config import EstimaConfig
-from .fitting import SCORE_TIE_REL, FittedFunction, fit_kernel
+from .fitting import SCORE_TIE_REL, FittedFunction, _linear_design, fit_kernel
+from .kernels import Kernel
 from .metrics import rmse
 
 __all__ = ["CandidateFit", "ExtrapolationResult", "extrapolate_series", "candidate_fits"]
@@ -86,6 +89,155 @@ def _split_checkpoints(
     return cores[:n], values[:n], cores[n:], values[n:]
 
 
+@dataclass(frozen=True)
+class _Sweep:
+    """Precomputed inputs of one prefix sweep, shared by both strategies."""
+
+    train_x: np.ndarray
+    train_y: np.ndarray
+    check_x: np.ndarray
+    check_y: np.ndarray
+    eval_range: np.ndarray
+    scale_bound: float
+    prefixes: list[int]
+    grid: list[tuple[int, Kernel]]
+
+    @property
+    def checkpoint_cores(self) -> tuple[int, ...]:
+        return tuple(int(c) for c in self.check_x)
+
+
+def _prepare_sweep(
+    x: np.ndarray, y: np.ndarray, config: EstimaConfig, target_cores: int
+) -> _Sweep:
+    """Validate a series and lay out the (prefix, kernel) grid to fit."""
+    if x.size != y.size:
+        raise ValueError("cores and values must have the same length")
+    if x.size < 3:
+        raise ValueError("need at least 3 measurements to extrapolate")
+
+    train_x, train_y, check_x, check_y = _split_checkpoints(x, y, config.checkpoints)
+    n = train_x.size
+    eval_range = np.arange(1.0, float(max(target_cores, int(x.max()))) + 1.0)
+    scale_bound = config.max_extrapolation_factor * max(float(np.max(np.abs(y))), 1e-30)
+
+    min_prefix = max(config.min_prefix, 2)
+    if n < min_prefix:
+        # Very short series (e.g. three-point desktop measurements): no prefix
+        # sweep is possible, train on everything that is not a checkpoint.
+        prefixes = [n]
+    else:
+        prefixes = list(range(min_prefix, n + 1))
+    grid = [(prefix, kernel) for prefix in prefixes for kernel in config.kernels]
+    return _Sweep(
+        train_x=train_x,
+        train_y=train_y,
+        check_x=check_x,
+        check_y=check_y,
+        eval_range=eval_range,
+        scale_bound=scale_bound,
+        prefixes=prefixes,
+        grid=grid,
+    )
+
+
+def _grid_fits(sweep: _Sweep, config: EstimaConfig) -> list[FittedFunction | None]:
+    """Fit the whole grid with the configured strategy, in grid order.
+
+    The vectorized engine batches the sweep (:mod:`repro.core.fastfit`).
+    When a ``threads`` fit pool is active it still fans out — one task per
+    kernel column (each a batched all-prefix fit), recomposed into grid
+    order — so fit-level parallelism composes with vectorization instead of
+    being silently dropped.  The serial reference path fits cell by cell —
+    the (prefix, kernel) grid is embarrassingly parallel and numpy/scipy-bound
+    (the solvers release the GIL), so a threads backend fans it out over the
+    fit pool; fits come back in grid order either way, so the surviving
+    candidate list — and therefore the chosen fit — is identical everywhere.
+    """
+    train_x, train_y = sweep.train_x, sweep.train_y
+    if fastfit.resolve_fit_strategy(config) == "vectorized":
+        pool = fit_pool_for_config(config)
+        kernels = list(config.kernels)
+        if pool is None or len(kernels) <= 1:
+            return fastfit.fit_grid(kernels, train_x, train_y, sweep.prefixes)
+        columns = pool.map(
+            lambda kernel: fastfit.fit_grid([kernel], train_x, train_y, sweep.prefixes),
+            kernels,
+        )
+        return [
+            columns[k][p]
+            for p in range(len(sweep.prefixes))
+            for k in range(len(kernels))
+        ]
+
+    # Satellite of the vectorized engine, applied to the reference path too:
+    # the design matrix of prefix p is the first p rows of the full-series
+    # matrix, so build it once per linear kernel and slice per prefix.
+    designs = {kernel.name: _linear_design(kernel.name, train_x) for kernel in config.kernels}
+
+    def fit_one(task: tuple[int, Kernel]) -> FittedFunction | None:
+        prefix, kernel = task
+        design = designs[kernel.name]
+        return fit_kernel(
+            kernel,
+            train_x[:prefix],
+            train_y[:prefix],
+            design=None if design is None else design[:prefix],
+        )
+
+    pool = fit_pool_for_config(config)
+    if pool is None:
+        return [fit_one(task) for task in sweep.grid]
+    return pool.map(fit_one, sweep.grid)
+
+
+def _screen_fits(
+    sweep: _Sweep,
+    fitted_grid: list[FittedFunction | None],
+    config: EstimaConfig,
+    *,
+    allow_negative: bool,
+) -> list[CandidateFit]:
+    """Realism-screen and checkpoint-score a fitted grid (Section 3.1.2)."""
+    if fastfit.resolve_fit_strategy(config) == "vectorized":
+        survivors = fastfit.screen_candidates(
+            fitted_grid,
+            sweep.eval_range,
+            sweep.check_x,
+            sweep.check_y,
+            allow_negative=allow_negative,
+            max_factor=sweep.scale_bound,
+        )
+        return [
+            CandidateFit(
+                fitted=fitted_grid[index],
+                prefix_length=sweep.grid[index][0],
+                checkpoint_rmse=score,
+            )
+            for index, score in survivors
+        ]
+
+    results: list[CandidateFit] = []
+    for (prefix, _kernel), fitted in zip(sweep.grid, fitted_grid):
+        if fitted is None:
+            continue
+        with PROFILER.stage("realism_screen"):
+            realistic = fitted.is_realistic(
+                sweep.eval_range, allow_negative=allow_negative, max_factor=sweep.scale_bound
+            )
+        if not realistic:
+            continue
+        with PROFILER.stage("checkpoint_score"):
+            predicted = fitted(sweep.check_x)
+            score = rmse(predicted, sweep.check_y) if np.all(np.isfinite(predicted)) else np.nan
+        if not np.isfinite(score):
+            continue
+        results.append(
+            CandidateFit(fitted=fitted, prefix_length=prefix, checkpoint_rmse=score)
+        )
+    return results
+
+
 def candidate_fits(
     cores: Sequence[int] | np.ndarray,
     values: Sequence[float] | np.ndarray,
@@ -101,56 +253,10 @@ def candidate_fits(
     """
     x = np.asarray(cores, dtype=float)
     y = np.asarray(values, dtype=float)
-    if x.size != y.size:
-        raise ValueError("cores and values must have the same length")
-    if x.size < 3:
-        raise ValueError("need at least 3 measurements to extrapolate")
-
-    train_x, train_y, check_x, check_y = _split_checkpoints(x, y, config.checkpoints)
-    n = train_x.size
-    eval_range = np.arange(1.0, float(max(target_cores, int(x.max()))) + 1.0)
-    scale_bound = config.max_extrapolation_factor * max(float(np.max(np.abs(y))), 1e-30)
-
-    results: list[CandidateFit] = []
-    min_prefix = max(config.min_prefix, 2)
-    if n < min_prefix:
-        # Very short series (e.g. three-point desktop measurements): no prefix
-        # sweep is possible, train on everything that is not a checkpoint.
-        prefixes: range | list[int] = [n]
-    else:
-        prefixes = range(min_prefix, n + 1)
-
-    # The (prefix, kernel) fit grid is embarrassingly parallel and numpy/
-    # scipy-bound (the solvers release the GIL), so a threads backend fans it
-    # out over the engine's fit pool.  Fits come back in grid order and the
-    # realism/RMSE screening below stays serial, so the surviving candidate
-    # list — and therefore the chosen fit — is identical to the serial loop's.
-    grid = [(prefix, kernel) for prefix in prefixes for kernel in config.kernels]
-    pool = fit_pool_for_config(config)
-    if pool is None:
-        fitted_grid = [fit_kernel(k, train_x[:p], train_y[:p]) for p, k in grid]
-    else:
-        fitted_grid = pool.map(
-            lambda task: fit_kernel(task[1], train_x[: task[0]], train_y[: task[0]]), grid
-        )
-
-    for (prefix, _kernel), fitted in zip(grid, fitted_grid):
-        if fitted is None:
-            continue
-        if not fitted.is_realistic(
-            eval_range, allow_negative=allow_negative, max_factor=scale_bound
-        ):
-            continue
-        predicted = fitted(check_x)
-        if not np.all(np.isfinite(predicted)):
-            continue
-        score = rmse(predicted, check_y)
-        if not np.isfinite(score):
-            continue
-        results.append(
-            CandidateFit(fitted=fitted, prefix_length=prefix, checkpoint_rmse=score)
-        )
-    return results, tuple(int(c) for c in check_x)
+    sweep = _prepare_sweep(x, y, config, target_cores)
+    fitted_grid = _grid_fits(sweep, config)
+    results = _screen_fits(sweep, fitted_grid, config, allow_negative=allow_negative)
+    return results, sweep.checkpoint_cores
 
 
 def extrapolate_series(
@@ -202,17 +308,28 @@ def _extrapolate_series_impl(
     category: str,
     allow_negative: bool,
 ) -> ExtrapolationResult:
-    candidates, checkpoint_cores = candidate_fits(
-        x, y, config, target_cores=target_cores, allow_negative=allow_negative
-    )
-    if not candidates and not allow_negative:
-        # Steeply decreasing series can drive every kernel negative somewhere
-        # on the extrapolation range.  Rather than fail the whole prediction,
-        # fall back to the unconstrained fits — ``predict`` clamps the final
-        # values at zero anyway.
+    if fastfit.resolve_fit_strategy(config) == "vectorized":
+        # The vectorized engine fits the grid once and screens it twice when
+        # the allow_negative fallback triggers: fits are deterministic, so
+        # re-screening the same grid yields exactly what refitting would.
+        sweep = _prepare_sweep(x, y, config, target_cores)
+        fitted_grid = _grid_fits(sweep, config)
+        checkpoint_cores = sweep.checkpoint_cores
+        candidates = _screen_fits(sweep, fitted_grid, config, allow_negative=allow_negative)
+        if not candidates and not allow_negative:
+            candidates = _screen_fits(sweep, fitted_grid, config, allow_negative=True)
+    else:
         candidates, checkpoint_cores = candidate_fits(
-            x, y, config, target_cores=target_cores, allow_negative=True
+            x, y, config, target_cores=target_cores, allow_negative=allow_negative
         )
+        if not candidates and not allow_negative:
+            # Steeply decreasing series can drive every kernel negative
+            # somewhere on the extrapolation range.  Rather than fail the
+            # whole prediction, fall back to the unconstrained fits —
+            # ``predict`` clamps the final values at zero anyway.
+            candidates, checkpoint_cores = candidate_fits(
+                x, y, config, target_cores=target_cores, allow_negative=True
+            )
     if not candidates:
         raise RuntimeError(
             f"no realistic kernel fit found for category {category!r} "

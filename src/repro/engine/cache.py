@@ -177,6 +177,50 @@ class ContentCache:
         """Attach (or with ``None`` detach) the persistent second tier."""
         self.store = store
 
+    def get(
+        self, key: Any, *, valid: Callable[[Any], bool] | None = None
+    ) -> tuple[bool, Any]:
+        """Probe both tiers for ``key`` without computing anything.
+
+        Returns ``(hit, value)`` — the tuple disambiguates a cached ``None``
+        from a miss.  Counting is exactly the probe phase of
+        :meth:`get_or_compute`, so batch users (the vectorized fit grid
+        probing a whole sweep up front) keep the same per-entry hit/miss
+        accounting as per-call users.  A disabled cache always misses and
+        records nothing.
+        """
+        if not self.enabled:
+            return False, None
+        with self._lock:
+            cached = self._data.get(key, _SENTINEL)
+            if cached is not _SENTINEL and (valid is None or valid(cached)):
+                self._data.move_to_end(key)
+                self.stats.hits += 1
+                return True, cached
+            self.stats.misses += 1
+        store = self.store
+        if store is not None:
+            # Disk keys must be path-safe digests; every key builder below
+            # produces hex strings, so this holds for all engine regions.
+            stored = store.get(self.name, str(key))
+            if not store.is_miss(stored) and (valid is None or valid(stored)):
+                with self._lock:
+                    self.disk_stats.hits += 1
+                self._remember(key, stored)
+                return True, stored
+            with self._lock:
+                self.disk_stats.misses += 1
+        return False, None
+
+    def put(self, key: Any, value: Any) -> None:
+        """Store a computed value in both tiers (a no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._remember(key, value)
+        store = self.store
+        if store is not None:
+            store.put(self.name, str(key), value)
+
     def get_or_compute(
         self,
         key: Any,
@@ -193,29 +237,11 @@ class ContentCache:
         """
         if not self.enabled:
             return compute()
-        with self._lock:
-            cached = self._data.get(key, _SENTINEL)
-            if cached is not _SENTINEL and (valid is None or valid(cached)):
-                self._data.move_to_end(key)
-                self.stats.hits += 1
-                return cached
-            self.stats.misses += 1
-        store = self.store
-        if store is not None:
-            # Disk keys must be path-safe digests; every key builder below
-            # produces hex strings, so this holds for all engine regions.
-            stored = store.get(self.name, str(key))
-            if not store.is_miss(stored) and (valid is None or valid(stored)):
-                with self._lock:
-                    self.disk_stats.hits += 1
-                self._remember(key, stored)
-                return stored
-            with self._lock:
-                self.disk_stats.misses += 1
+        hit, value = self.get(key, valid=valid)
+        if hit:
+            return value
         value = compute()  # outside the lock: fits can take a while
-        self._remember(key, value)
-        if store is not None:
-            store.put(self.name, str(key), value)
+        self.put(key, value)
         return value
 
     def _remember(self, key: Any, value: Any) -> None:

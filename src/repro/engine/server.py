@@ -507,7 +507,15 @@ class PredictionServer:
         return self._campaign_pool
 
     def stats(self) -> dict[str, object]:
-        """Throughput/latency counters plus the service's per-tier cache stats."""
+        """Throughput/latency counters plus the service's per-tier cache stats.
+
+        Includes the engine profiler's per-stage fit timings (design/
+        non-linear solves, screening, scoring — see
+        :mod:`repro.engine.profiling`); every leaf is numeric, so the whole
+        snapshot flattens into ``/metrics`` gauges unchanged.
+        """
+        from repro.engine.profiling import PROFILER
+
         return {
             "server": self.metrics.as_dict(),
             "batching": {
@@ -516,6 +524,7 @@ class PredictionServer:
                 "queue_limit": self.queue_limit,
             },
             "caches": self.service.cache_stats(),
+            "profile": PROFILER.snapshot(),
         }
 
     # ------------------------------------------------------------------ #

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core import EstimaConfig
 from repro.engine.executor import Executor, ThreadExecutor, active_fit_pool, executor_for_config
+from repro.engine.profiling import PROFILER, profile_delta
 from repro.engine.service import PredictionRequest, PredictionService
 from repro.machine.machines import MachineSpec
 from repro.workloads.registry import TABLE4_WORKLOADS, get_workload
@@ -389,6 +390,7 @@ class ErrorCampaign:
 
         rows: list[CampaignRow] = []
         cache_totals: dict[str, dict[str, int]] = {}
+        profile_before = PROFILER.snapshot()
         with fit_pool_ctx:
             for row, stats in outcome_iter:
                 rows.append(row)
@@ -405,5 +407,9 @@ class ErrorCampaign:
                 "workloads": len(tasks),
                 "caches": cache_totals,
                 "executor_stats": executor.stats(),
+                # Per-stage fit timings of this run (in-process stages only:
+                # a process-pool backend fits in its workers, whose profilers
+                # are per-process, so the delta is empty there).
+                "profile": profile_delta(profile_before, PROFILER.snapshot()),
             },
         )

@@ -242,6 +242,44 @@ class TestPredictStats:
         assert code == 2
         assert "invalid --executor" in capsys.readouterr().err
 
+    def test_stats_includes_fit_stage_timings(self, capsys):
+        code = main(self.PREDICT_ARGS + ["--stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fit stages:" in out
+        assert "nonlinear_solve" in out
+
+
+class TestProfileCommand:
+    PROFILE_ARGS = [
+        "profile", "--workload", "genome", "--machine", "xeon20",
+        "--measure-cores", "10", "--target-cores", "20",
+    ]
+
+    def test_text_report_compares_both_strategies(self, capsys):
+        code = main(self.PROFILE_ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serial:" in out and "vectorized:" in out
+        assert "nonlinear_solve" in out
+        assert "speedup:" in out
+        assert "predicted rows identical: yes" in out
+
+    def test_json_report_is_machine_readable(self, capsys):
+        code = main(self.PROFILE_ARGS + ["--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows_identical"] is True
+        assert set(payload["strategies"]) == {"serial", "vectorized"}
+        for leg in payload["strategies"].values():
+            assert leg["wall_s"] > 0.0
+            assert leg["profile"]["nonlinear_solve"]["calls"] > 0
+        assert payload["speedup"] > 0.0
+
+    def test_needs_input_or_workload(self, capsys):
+        assert main(["profile", "--target-cores", "20"]) == 2
+        assert "profile needs" in capsys.readouterr().err
+
 
 class TestCacheCommand:
     def test_stats_on_empty_dir(self, tmp_path, capsys):
