@@ -44,6 +44,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.engine.executor import Executor
 from repro.engine.pool import parse_tcp_address
+from repro.testing.syncpoints import sync_point
 
 from .ring import DEFAULT_VNODES, HashRing
 
@@ -283,6 +284,7 @@ class RemoteClient:
             error = RemoteUnavailableError(f"{self.address}: send failed: {exc}")
             error.before_any_response = True
             raise error from None
+        sync_point("cluster.client.sent")
         documents: list[dict[str, Any]] = []
         while True:
             try:
@@ -309,6 +311,7 @@ class RemoteClient:
                     f"{self.address}: bad response document: {document!r}"
                 )
             documents.append(document)
+            sync_point("cluster.client.document")
             if not document.get("ok", False):
                 break  # error document terminates the exchange
             if document.get("op") != "campaign" or document.get("done", False):
@@ -400,15 +403,16 @@ class BackendPool:
             health = self._health[address]
             if retry:
                 health.retries += 1
-                return
-            health.requests += 1
-            if ok:
-                health.up = True
-                health.consecutive_failures = 0
             else:
-                health.failures += 1
-                health.consecutive_failures += 1
-                health.up = False
+                health.requests += 1
+                if ok:
+                    health.up = True
+                    health.consecutive_failures = 0
+                else:
+                    health.failures += 1
+                    health.consecutive_failures += 1
+                    health.up = False
+        sync_point("cluster.pool.recorded")
 
     def mark_probe(self, address: str, *, up: bool) -> None:
         """Record an out-of-band health probe (the router's ``/healthz``)."""
@@ -458,11 +462,13 @@ class BackendPool:
             if rank > 0:
                 with self._lock:
                     self.failovers += 1
+                sync_point("cluster.pool.failover")
             client = self._clients[address]
             for attempt in range(1 + self.retries):
                 if attempt > 0:
                     self._record(address, ok=False, retry=True)
                     self._sleep(self.backoff_base_s * (2 ** (attempt - 1)))
+                sync_point("cluster.pool.attempt")
                 try:
                     documents = client.request(payload)
                 except RemoteUnavailableError as exc:

@@ -65,6 +65,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.testing.syncpoints import sync_point
+
 __all__ = [
     "ENV_SERVE_WORKERS",
     "ENV_SERVE_HTTP",
@@ -530,11 +532,15 @@ class WorkerPool:
         for offset in range(len(handles)):
             handle = handles[(start + offset) % len(handles)]
             if not handle.process.is_alive():
+                sync_point("pool.dispatch.skip_dead")
                 continue
+            sync_point("pool.dispatch.pick")
             try:
                 socket.send_fds(handle.fd_channel, [b"c"], [conn.fileno()])
+                sync_point("pool.dispatch.sent")
                 return True
             except OSError:
+                sync_point("pool.dispatch.send_failed")
                 continue  # worker died between the check and the send
         return False
 
@@ -567,12 +573,14 @@ class WorkerPool:
                     file=sys.stderr,
                     flush=True,
                 )
+                sync_point("pool.health.respawn")
                 with self._lock:
                     if self._handles[handle.index] is not handle:
                         continue  # already replaced
                     self._close_handle(handle)
                     self._handles[handle.index] = self._spawn(handle.index)
                     self.restarts += 1
+                sync_point("pool.health.respawned")
                 handle.process.join(timeout=1)
 
 

@@ -98,6 +98,7 @@ from typing import Any, Awaitable, Callable, Mapping
 
 from repro.core.config import EstimaConfig
 from repro.core.measurement import MeasurementSet
+from repro.testing.syncpoints import sync_point_async
 
 from .service import PredictionRequest, PredictionService
 
@@ -399,12 +400,14 @@ class _OrderedResponseWriter:
         self._cond = asyncio.Condition()
 
     async def write(self, seq: int, document: Mapping[str, Any]) -> None:
+        await sync_point_async("server.writer.write")
         async with self._cond:
             await self._cond.wait_for(lambda: self._next == seq)
             self._writer.write(json.dumps(document).encode() + b"\n")
             await self._writer.drain()
 
     async def finish(self, seq: int) -> None:
+        await sync_point_async("server.writer.finish")
         async with self._cond:
             await self._cond.wait_for(lambda: self._next == seq)
             self._next = seq + 1
@@ -553,6 +556,7 @@ class PredictionServer:
             future=asyncio.get_running_loop().create_future(),
             enqueued_at=time.perf_counter(),
         )
+        await sync_point_async("server.submit.enqueue")
         await self._queue.put(pending)  # blocks when full: backpressure
         try:
             prediction = await pending.future
@@ -780,6 +784,7 @@ class PredictionServer:
         try:
             while True:
                 batch = [await self._queue.get()]
+                await sync_point_async("server.batch.first")
                 deadline = loop.time() + self.batch_window_s
                 # Coalesce: wait out the latency window (or until the batch is
                 # full) so concurrent clients land in one predict_batch call
@@ -792,6 +797,7 @@ class PredictionServer:
                         batch.append(await asyncio.wait_for(self._queue.get(), remaining))
                     except asyncio.TimeoutError:
                         break
+                await sync_point_async("server.batch.formed")
                 self.metrics.record_batch(len(batch))
                 requests = [pending.request for pending in batch]
                 try:

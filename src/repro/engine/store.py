@@ -71,6 +71,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro.testing.syncpoints import sync_point
+
 try:  # POSIX advisory locks; on platforms without fcntl the store still
     import fcntl  # works, it just loses cross-process eviction coordination.
 except ImportError:  # pragma: no cover - non-POSIX fallback
@@ -196,6 +198,13 @@ class DiskStore:
         except Exception:
             return False
         path = self._path(region, key)
+        # Force the lazy first scan *before* publishing: a scan that runs
+        # after ``os.replace`` absorbs the entry being written, making the
+        # ledger delta below 0 — the entry's bytes would then never reach
+        # the shared ledger, and fresh processes could overshoot the byte
+        # budget forever without ever triggering the over-budget rescan.
+        with self._lock:
+            self._ensure_scanned()
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
@@ -203,6 +212,7 @@ class DiskStore:
                 with os.fdopen(fd, "wb") as handle:
                     handle.write(blob)
                 os.replace(tmp_name, path)
+                sync_point("store.put.publish")
             except BaseException:
                 try:
                     os.unlink(tmp_name)
@@ -236,8 +246,10 @@ class DiskStore:
                     self._evict_locked()
                 else:
                     shared = self._read_ledger(ledger)
+                    sync_point("store.ledger.read")
                     total = shared + delta if shared is not None else None
                     if total is None or total > self.max_bytes:
+                        sync_point("store.ledger.rescan")
                         self._refresh_locked()
                         self._evict_locked()
                         total = self._total_bytes
@@ -361,10 +373,15 @@ class DiskStore:
                     handle.close()
                     handle = None
         try:
+            if handle is not None:
+                sync_point("store.ledger.acquire")
             yield handle
         finally:
             if handle is not None:
-                handle.close()  # closing the descriptor releases the flock
+                try:
+                    sync_point("store.ledger.release")
+                finally:
+                    handle.close()  # closing the descriptor releases the flock
 
     @staticmethod
     def _read_ledger(handle: Any) -> int | None:

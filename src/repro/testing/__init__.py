@@ -1,0 +1,81 @@
+"""Deterministic concurrency-testing substrate for the serving stack.
+
+The serving stack is a collection of small hand-off state machines —
+SCM_RIGHTS dispatch in :mod:`repro.engine.pool`, the ordered-response
+writer and micro-batch queue in :mod:`repro.engine.server`, the flock'd
+byte ledger in :mod:`repro.engine.store`, and ring failover in
+:mod:`repro.engine.cluster.remote`.  Stress tests probe their races
+probabilistically; this package checks them deterministically.
+
+Two modules:
+
+``syncpoints``
+    Named sync points (``sync_point`` / ``sync_point_async``) threaded
+    through the engine's hot hand-off paths — zero-cost no-ops unless a
+    :class:`ScheduleController` is installed, in which case registered
+    actor threads/coroutines block at each point and are released in a
+    scripted order.  Also: named ``Barrier`` helpers and
+    ``assert_parallel_execution`` for positive-concurrency checks.
+
+``explore``
+    A bounded schedule explorer that enumerates *all* interleavings of
+    a scripted scenario up to a depth bound, asserts the scenario's
+    invariants on every schedule, and prints any failing schedule as a
+    replayable script.
+
+This package deliberately imports nothing from the rest of ``repro``
+(stdlib only), so every engine module can import it without cycles —
+the same leaf posture as ``repro.engine.cache``.
+"""
+
+from .explore import (
+    ExplorationResult,
+    ScheduleFailure,
+    Scenario,
+    explore,
+    format_schedule,
+    replay,
+)
+from .syncpoints import (
+    DeadlockError,
+    ScheduleController,
+    ScheduleError,
+    ENV_SYNC_DEBUG,
+    KNOWN_SYNC_POINTS,
+    START_POINT,
+    assert_parallel_execution,
+    background_event_loop,
+    clear_barriers,
+    get_barrier,
+    install_controller,
+    installed_controller,
+    set_sync_debug,
+    sync_point,
+    sync_point_async,
+    uninstall_controller,
+)
+
+__all__ = [
+    "DeadlockError",
+    "ENV_SYNC_DEBUG",
+    "ExplorationResult",
+    "KNOWN_SYNC_POINTS",
+    "START_POINT",
+    "Scenario",
+    "ScheduleController",
+    "ScheduleError",
+    "ScheduleFailure",
+    "assert_parallel_execution",
+    "background_event_loop",
+    "clear_barriers",
+    "explore",
+    "format_schedule",
+    "get_barrier",
+    "install_controller",
+    "installed_controller",
+    "replay",
+    "set_sync_debug",
+    "sync_point",
+    "sync_point_async",
+    "uninstall_controller",
+]

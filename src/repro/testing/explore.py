@@ -1,0 +1,256 @@
+"""Bounded exhaustive schedule exploration over sync-point state machines.
+
+The engine's hand-off paths are small labeled state machines: a handful
+of actors, each passing through a handful of named sync points.  For
+machines this small, the pragmatic version of systematic concurrency
+testing (the DPOR family — see PAPERS.md) is to *enumerate every
+interleaving outright* up to a depth bound, run the scenario's
+invariant checks on each one, and print any failing schedule as a
+script that :func:`replay` reproduces deterministically.
+
+The algorithm is prefix-directed depth-first search: run the scenario
+once, recording the enabled set at every scheduling step; then for each
+step within the depth bound, branch on every enabled actor that was
+*not* chosen, queuing ``chosen_prefix + (alternative,)`` as a new
+prefix to execute.  Beyond the prefix, the schedule continues
+deterministically (first enabled actor in sorted order), so two runs
+that share a prefix share their whole schedule — the visited-set
+deduplication is exact and the enumeration is exhaustive for schedules
+up to ``max_depth`` scheduling decisions.
+
+A scenario is anything with the :class:`Scenario` shape: ``start``
+builds fresh state and spawns its actors on a controller, ``check``
+asserts the invariants after the schedule ran, ``cleanup`` tears down.
+Fresh state per run is essential — the explorer executes the scenario
+once per schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .syncpoints import ScheduleController, ScheduleError
+
+__all__ = [
+    "ExplorationResult",
+    "Scenario",
+    "ScheduleFailure",
+    "explore",
+    "format_schedule",
+    "replay",
+]
+
+
+class Scenario:
+    """Base (duck-typed) scenario: subclassing is optional.
+
+    ``start(controller)`` must create *fresh* state, spawn every actor
+    via ``controller.spawn`` / ``controller.spawn_task``, and return a
+    context object.  ``check(context)`` raises ``AssertionError`` when
+    an invariant is violated.  ``cleanup(context)`` always runs.
+    """
+
+    name = "scenario"
+    #: Per-scenario controller tuning (seconds).
+    stall_timeout = 0.1
+    deadlock_timeout = 20.0
+
+    def start(self, controller: ScheduleController) -> Any:
+        raise NotImplementedError
+
+    def check(self, context: Any) -> None:  # pragma: no cover - default no-op
+        return None
+
+    def cleanup(self, context: Any) -> None:  # pragma: no cover - default no-op
+        return None
+
+
+def format_schedule(trace: list[tuple[str, str]]) -> str:
+    """Render a trace as the replayable ``actor@point`` script format."""
+
+    return " ".join(f"{actor}@{point}" for actor, point in trace)
+
+
+@dataclass
+class ScheduleFailure:
+    """One schedule that violated an invariant (or crashed an actor)."""
+
+    choices: tuple[str, ...]
+    trace: list[tuple[str, str]]
+    error: BaseException
+
+    def describe(self, scenario_name: str) -> str:
+        lines = [
+            f"scenario {scenario_name!r} failed under schedule:",
+            f"  schedule: {format_schedule(self.trace)}",
+            f"  choices:  {list(self.choices)!r}",
+            f"  error:    {type(self.error).__name__}: {self.error}",
+            "  replay with: repro.testing.replay(scenario, choices)",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of :func:`explore` over one scenario."""
+
+    scenario: str
+    schedules: int = 0
+    max_depth_seen: int = 0
+    depth_limited: bool = False
+    truncated: bool = False
+    divergences: int = 0
+    failures: list[ScheduleFailure] = field(default_factory=list)
+
+    def raise_on_failure(self) -> None:
+        """Raise ``AssertionError`` describing the first failing schedule."""
+
+        if self.failures:
+            failure = self.failures[0]
+            raise AssertionError(failure.describe(self.scenario)) from failure.error
+
+    def summary(self) -> str:
+        return (
+            f"scenario {self.scenario!r}: {self.schedules} schedules, "
+            f"max depth {self.max_depth_seen}"
+            f"{' (depth-limited)' if self.depth_limited else ''}"
+            f"{' (truncated)' if self.truncated else ''}, "
+            f"{len(self.failures)} failing, {self.divergences} divergent"
+        )
+
+
+class _Divergence(Exception):
+    """Internal: a queued prefix no longer matches the enabled sets."""
+
+
+@dataclass
+class _RunOutcome:
+    choices: tuple[str, ...]
+    enabled_sets: list[list[str]]
+    trace: list[tuple[str, str]]
+    diverged: bool
+    error: BaseException | None
+
+
+def _run_schedule(scenario: Scenario, prefix: tuple[str, ...]) -> _RunOutcome:
+    controller = ScheduleController(
+        stall_timeout=scenario.stall_timeout,
+        deadlock_timeout=scenario.deadlock_timeout,
+    )
+    enabled_sets: list[list[str]] = []
+    choices: list[str] = []
+
+    def decider(step: int, enabled: list[str]) -> str:
+        enabled_sets.append(list(enabled))
+        if step < len(prefix):
+            if prefix[step] not in enabled:
+                raise _Divergence(
+                    f"step {step}: prefix wants {prefix[step]!r}, enabled={enabled}"
+                )
+            choice = prefix[step]
+        else:
+            choice = enabled[0]
+        choices.append(choice)
+        return choice
+
+    error: BaseException | None = None
+    diverged = False
+    with controller.install():
+        context = scenario.start(controller)
+        try:
+            controller.drive(decider=decider)
+            scenario.check(context)
+        except _Divergence:
+            diverged = True
+        except BaseException as exc:  # noqa: BLE001 - recorded per schedule
+            error = exc
+        finally:
+            # Unblock every actor before tearing scenario state down:
+            # cleanup may stop the event loop the async actors live on.
+            controller.drain()
+            try:
+                scenario.cleanup(context)
+            except BaseException as exc:  # noqa: BLE001 - cleanup must not mask
+                if error is None:
+                    error = exc
+    return _RunOutcome(tuple(choices), enabled_sets, list(controller.trace), diverged, error)
+
+
+def explore(
+    scenario: Scenario,
+    *,
+    max_depth: int = 12,
+    max_schedules: int = 400,
+    stop_on_first_failure: bool = True,
+) -> ExplorationResult:
+    """Enumerate every schedule of ``scenario`` up to ``max_depth`` decisions.
+
+    Scheduling decisions past ``max_depth`` follow the deterministic
+    default (first enabled actor, sorted), so every run completes; the
+    bound limits only where the search *branches*.  ``max_schedules``
+    is a hard safety valve — hitting it sets ``result.truncated``,
+    which well-sized scenarios should assert is ``False``.
+    """
+
+    if max_depth < 1:
+        raise ValueError("max_depth must be >= 1")
+    result = ExplorationResult(scenario=getattr(scenario, "name", "scenario"))
+    pending: list[tuple[str, ...]] = [()]
+    seen: set[tuple[str, ...]] = {()}
+    while pending:
+        if result.schedules >= max_schedules:
+            result.truncated = True
+            break
+        prefix = pending.pop()
+        outcome = _run_schedule(scenario, prefix)
+        if outcome.diverged:
+            # Nondeterminism outside the scheduler (rare: OS timing
+            # changed a stall classification).  Retry the prefix once;
+            # count it if it diverges again.
+            outcome = _run_schedule(scenario, prefix)
+            if outcome.diverged:
+                result.divergences += 1
+                continue
+        result.schedules += 1
+        depth = len(outcome.choices)
+        result.max_depth_seen = max(result.max_depth_seen, depth)
+        if depth > max_depth:
+            result.depth_limited = True
+        if outcome.error is not None:
+            result.failures.append(
+                ScheduleFailure(outcome.choices, outcome.trace, outcome.error)
+            )
+            if stop_on_first_failure:
+                break
+        branch_to = min(depth, max_depth, len(outcome.enabled_sets))
+        for step in range(len(prefix), branch_to):
+            for alternative in outcome.enabled_sets[step]:
+                if alternative == outcome.choices[step]:
+                    continue
+                branch = outcome.choices[:step] + (alternative,)
+                if branch not in seen:
+                    seen.add(branch)
+                    pending.append(branch)
+    return result
+
+
+def replay(scenario: Scenario, choices: Any) -> list[tuple[str, str]]:
+    """Re-run ``scenario`` under an exact schedule and re-raise its failure.
+
+    ``choices`` is the ``choices`` list printed by
+    :meth:`ScheduleFailure.describe` (actor names, one per scheduling
+    step).  Returns the trace when the schedule passes; raises the
+    original invariant violation when it still fails — which a
+    deterministic scenario always will.
+    """
+
+    outcome = _run_schedule(scenario, tuple(choices))
+    if outcome.diverged:
+        raise ScheduleError(
+            f"replay diverged: the scenario is not deterministic under "
+            f"choices {list(choices)!r}"
+        )
+    if outcome.error is not None:
+        raise outcome.error
+    return outcome.trace

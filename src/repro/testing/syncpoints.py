@@ -1,0 +1,736 @@
+"""Named sync points and the schedule controller that drives them.
+
+Engine modules call :func:`sync_point` (threads) or
+:func:`sync_point_async` (coroutines) at the hand-off edges of their
+small concurrent state machines.  With no controller installed the call
+is a no-op — one module-global load and an ``is None`` test — so the
+hooks are safe to leave in production paths.
+
+Under a :class:`ScheduleController`, *registered* actors (threads
+spawned via :meth:`ScheduleController.spawn`, coroutines via
+:meth:`ScheduleController.spawn_task`) block at every sync point they
+reach and resume only when the controller releases them.  Unregistered
+threads — server accept loops, health monitors, pytest's main thread —
+pass straight through, so installing a controller never deadlocks
+machinery the test is not scripting.
+
+The controller's scheduling model:
+
+* Every actor first blocks at the implicit :data:`START_POINT` before
+  running its function, so "which actor moves first" is always an
+  explicit scheduling decision and spawn order never races.
+* :meth:`ScheduleController.wait_quiescent` waits until every live
+  actor is either blocked at a sync point or *stalled* — running for
+  longer than ``stall_timeout`` without a state transition, which is
+  how an actor waiting on a real lock (a flock, an
+  ``asyncio.Condition`` slot) is detected.  Stalled actors are not
+  schedulable; they wake on their own when another actor releases the
+  resource they sleep on.
+* :meth:`ScheduleController.drive` repeatedly picks one enabled
+  (blocked) actor — from an explicit script, a ``decider`` callback, or
+  deterministically (first in sorted order) — and releases it, until
+  every actor has finished.  The granted sequence is recorded in
+  :attr:`ScheduleController.trace` as ``(actor, point)`` pairs.
+
+Set ``ESTIMA_SYNC_DEBUG=1`` (or call :func:`set_sync_debug`) to log
+every sync-point arrival to stderr, controlled or not.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
+
+__all__ = [
+    "DeadlockError",
+    "ENV_SYNC_DEBUG",
+    "KNOWN_SYNC_POINTS",
+    "START_POINT",
+    "ScheduleController",
+    "ScheduleError",
+    "assert_parallel_execution",
+    "background_event_loop",
+    "clear_barriers",
+    "get_barrier",
+    "install_controller",
+    "installed_controller",
+    "set_sync_debug",
+    "sync_point",
+    "sync_point_async",
+    "uninstall_controller",
+]
+
+ENV_SYNC_DEBUG = "ESTIMA_SYNC_DEBUG"
+
+#: Sync points threaded through the engine.  Tests may use any name they
+#: like for their own actors; this tuple is the documented contract for
+#: the hooks that live in ``src/repro/engine`` (see
+#: docs/architecture.md, "Testing the concurrent core").
+KNOWN_SYNC_POINTS = (
+    # engine/pool.py — SCM_RIGHTS dispatch and crash restart
+    "pool.dispatch.pick",
+    "pool.dispatch.sent",
+    "pool.dispatch.send_failed",
+    "pool.dispatch.skip_dead",
+    "pool.health.respawn",
+    "pool.health.respawned",
+    # engine/server.py — ordered-response writer and micro-batch queue
+    "server.writer.write",
+    "server.writer.finish",
+    "server.submit.enqueue",
+    "server.batch.first",
+    "server.batch.formed",
+    # engine/store.py — flock'd shared byte ledger
+    "store.put.publish",
+    "store.ledger.acquire",
+    "store.ledger.read",
+    "store.ledger.rescan",
+    "store.ledger.release",
+    # engine/cluster/remote.py — backend health and ring failover
+    "cluster.client.sent",
+    "cluster.client.document",
+    "cluster.pool.attempt",
+    "cluster.pool.failover",
+    "cluster.pool.recorded",
+)
+
+#: The implicit gate every spawned actor blocks at before its function
+#: runs.  Appears in traces/scripts as ``actor@start``.
+START_POINT = "start"
+
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_DONE = "done"
+
+
+class ScheduleError(RuntimeError):
+    """A schedule could not be followed (divergence, bad release, runaway)."""
+
+
+class DeadlockError(ScheduleError):
+    """No actor can make progress within the deadlock timeout."""
+
+
+def _env_truthy(value: str | None) -> bool:
+    return (value or "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+_sync_debug = _env_truthy(os.environ.get(ENV_SYNC_DEBUG))
+
+
+def set_sync_debug(enabled: bool) -> None:
+    """Toggle sync-point arrival logging (same effect as ESTIMA_SYNC_DEBUG)."""
+
+    global _sync_debug
+    _sync_debug = bool(enabled)
+
+
+def _debug_log(point: str, actor: str | None) -> None:
+    thread = threading.current_thread().name
+    who = actor if actor is not None else "-"
+    sys.stderr.write(f"[estima-sync] point={point} actor={who} thread={thread}\n")
+
+
+class _Actor:
+    """Bookkeeping for one scheduled thread or coroutine."""
+
+    __slots__ = (
+        "name",
+        "kind",
+        "state",
+        "point",
+        "permit",
+        "settled",
+        "running_since",
+        "wake",
+        "thread",
+        "future",
+        "result",
+        "error",
+    )
+
+    def __init__(self, name: str, kind: str) -> None:
+        self.name = name
+        self.kind = kind  # "thread" | "task"
+        self.state = _RUNNING
+        self.point: str | None = None
+        self.permit = False
+        self.settled = False
+        self.running_since = time.monotonic()
+        self.wake: Callable[[], None] | None = None
+        self.thread: threading.Thread | None = None
+        self.future: Any = None
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+
+_current_actor = threading.local()
+
+
+class ScheduleController:
+    """Blocks registered actors at sync points; releases them to a script.
+
+    Parameters
+    ----------
+    stall_timeout:
+        How long a running actor may go without a state transition
+        before it is classified as *stalled* (sleeping on a real lock)
+        and excluded from the enabled set.  Small values make
+        exploration fast; too small misclassifies slow compute as a
+        stall — 50–200 ms suits everything in this repo.
+    deadlock_timeout:
+        Upper bound on any single wait (an actor waiting for its
+        release permit, or the controller waiting for quiescence)
+        before :class:`DeadlockError` is raised with the trace so far.
+    """
+
+    def __init__(
+        self,
+        *,
+        stall_timeout: float = 0.1,
+        deadlock_timeout: float = 20.0,
+    ) -> None:
+        if stall_timeout <= 0:
+            raise ValueError("stall_timeout must be positive")
+        if deadlock_timeout <= stall_timeout:
+            raise ValueError("deadlock_timeout must exceed stall_timeout")
+        self.stall_timeout = float(stall_timeout)
+        self.deadlock_timeout = float(deadlock_timeout)
+        self._cond = threading.Condition()
+        self._actors: dict[str, _Actor] = {}
+        self._spawn_order: list[str] = []
+        self._task_names: dict[Any, str] = {}
+        self._draining = False
+        #: Granted steps, in release order: list of (actor, point).
+        self.trace: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # actor registration
+
+    def spawn(self, name: str, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> None:
+        """Run ``fn`` on a new thread as scheduled actor ``name``.
+
+        The actor blocks at :data:`START_POINT` before ``fn`` runs, so
+        nothing happens until the controller releases it.
+        """
+
+        actor = self._register(name, "thread")
+
+        def runner() -> None:
+            _current_actor.name = name
+            try:
+                self._reached(name, START_POINT)
+                actor.result = fn(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported via drive()
+                actor.error = exc
+            finally:
+                with self._cond:
+                    actor.state = _DONE
+                    self._cond.notify_all()
+
+        thread = threading.Thread(target=runner, name=f"actor-{name}", daemon=True)
+        actor.thread = thread
+        thread.start()
+
+    def spawn_task(self, name: str, coro: Any, loop: asyncio.AbstractEventLoop) -> None:
+        """Schedule coroutine ``coro`` on ``loop`` as actor ``name``.
+
+        ``loop`` must run on a thread the controller does not script
+        (see :func:`background_event_loop`).  The coroutine blocks at
+        :data:`START_POINT` before its body runs.
+        """
+
+        actor = self._register(name, "task")
+
+        async def runner() -> None:
+            self._task_names[asyncio.current_task()] = name
+            try:
+                await self._reached_async(name, START_POINT)
+                actor.result = await coro
+            except BaseException as exc:  # noqa: BLE001 - reported via drive()
+                actor.error = exc
+            finally:
+                with self._cond:
+                    actor.state = _DONE
+                    self._cond.notify_all()
+
+        actor.future = asyncio.run_coroutine_threadsafe(runner(), loop)
+
+    def _register(self, name: str, kind: str) -> _Actor:
+        with self._cond:
+            if name in self._actors:
+                raise ScheduleError(f"duplicate actor name: {name!r}")
+            actor = _Actor(name, kind)
+            self._actors[name] = actor
+            self._spawn_order.append(name)
+            return actor
+
+    # ------------------------------------------------------------------
+    # sync-point arrival (called from actor threads / tasks)
+
+    def _thread_actor_name(self) -> str | None:
+        return getattr(_current_actor, "name", None)
+
+    def reached(self, point: str) -> None:
+        """Arrival of the calling *thread* at ``point`` (no-op if unregistered)."""
+
+        name = self._thread_actor_name()
+        if name is None or name not in self._actors:
+            return
+        self._reached(name, point)
+
+    def _reached(self, name: str, point: str) -> None:
+        actor = self._actors[name]
+        with self._cond:
+            if self._draining:
+                return
+            actor.state = _BLOCKED
+            actor.point = point
+            actor.permit = False
+            self._cond.notify_all()
+            deadline = time.monotonic() + self.deadlock_timeout
+            while not actor.permit and not self._draining:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    actor.state = _RUNNING
+                    actor.running_since = time.monotonic()
+                    raise DeadlockError(
+                        f"actor {name!r} was never released from sync point "
+                        f"{point!r}; trace so far: {self.trace}"
+                    )
+                self._cond.wait(remaining)
+            actor.permit = False
+
+    async def _reached_async(self, name: str, point: str) -> None:
+        actor = self._actors[name]
+        loop = asyncio.get_running_loop()
+        event = asyncio.Event()
+        with self._cond:
+            if self._draining:
+                return
+            actor.state = _BLOCKED
+            actor.point = point
+            actor.permit = False
+            actor.wake = lambda: loop.call_soon_threadsafe(event.set)
+            self._cond.notify_all()
+        try:
+            await asyncio.wait_for(event.wait(), self.deadlock_timeout)
+        except asyncio.TimeoutError:
+            with self._cond:
+                actor.wake = None
+                actor.state = _RUNNING
+                actor.running_since = time.monotonic()
+            raise DeadlockError(
+                f"actor {name!r} was never released from sync point "
+                f"{point!r}; trace so far: {self.trace}"
+            ) from None
+
+    async def reached_async(self, point: str) -> None:
+        """Arrival of the running *task* at ``point`` (no-op if unregistered)."""
+
+        name = self._task_names.get(asyncio.current_task())
+        if name is None:
+            return
+        await self._reached_async(name, point)
+
+    # ------------------------------------------------------------------
+    # scheduling (called from the test / explorer thread)
+
+    def wait_quiescent(self) -> list[str]:
+        """Block until no actor can advance without a release.
+
+        Returns the sorted names of actors blocked at sync points (the
+        *enabled* set) — empty when every actor has finished.  Actors
+        stalled on real locks are not enabled; a state where only
+        stalled actors remain raises :class:`DeadlockError` once
+        ``deadlock_timeout`` expires.
+        """
+
+        overall_deadline = time.monotonic() + self.deadlock_timeout
+        with self._cond:
+            while True:
+                live = [a for a in self._actors.values() if a.state != _DONE]
+                if not live:
+                    return []
+                now = time.monotonic()
+                running = [a for a in live if a.state == _RUNNING]
+                for actor in running:
+                    if not actor.settled and now - actor.running_since >= self.stall_timeout:
+                        actor.settled = True
+                unsettled = [a for a in running if not a.settled]
+                if unsettled:
+                    next_mark = min(
+                        a.running_since + self.stall_timeout for a in unsettled
+                    )
+                    self._cond.wait(max(next_mark - now, 0.001))
+                    continue
+                enabled = sorted(a.name for a in live if a.state == _BLOCKED)
+                if enabled:
+                    return enabled
+                # Only stalled actors remain: they can wake on their own
+                # (e.g. a flock released by an exiting actor), so poll
+                # until the deadlock deadline.
+                if now >= overall_deadline:
+                    stalled = sorted(a.name for a in running)
+                    raise DeadlockError(
+                        f"actors {stalled} are stalled with no enabled actor "
+                        f"to release; trace so far: {self.trace}"
+                    )
+                self._cond.wait(min(0.05, overall_deadline - now))
+
+    def blocked_point(self, name: str) -> str | None:
+        """The sync point ``name`` is currently blocked at, if any."""
+
+        with self._cond:
+            actor = self._actors[name]
+            return actor.point if actor.state == _BLOCKED else None
+
+    def release(self, name: str) -> str:
+        """Release actor ``name`` from its sync point; returns the point."""
+
+        with self._cond:
+            actor = self._actors.get(name)
+            if actor is None:
+                raise ScheduleError(f"unknown actor: {name!r}")
+            if actor.state != _BLOCKED:
+                raise ScheduleError(
+                    f"cannot release actor {name!r}: state={actor.state}"
+                )
+            point = actor.point or "?"
+            self.trace.append((name, point))
+            actor.permit = True
+            actor.state = _RUNNING
+            actor.running_since = time.monotonic()
+            actor.settled = False
+            wake = actor.wake
+            actor.wake = None
+            self._cond.notify_all()
+        if wake is not None:
+            wake()
+        return point
+
+    def drive(
+        self,
+        schedule: Sequence[str | tuple[str, str]] | None = None,
+        *,
+        decider: Callable[[int, list[str]], str] | None = None,
+        max_steps: int = 10_000,
+    ) -> list[tuple[str, str]]:
+        """Run the system to completion under a schedule.
+
+        ``schedule`` is a list of steps, each ``"actor"`` or
+        ``"actor@point"`` (the latter also asserts *where* the actor is
+        blocked).  Once the script is exhausted — or if no script is
+        given — the first enabled actor in sorted order is released, so
+        the tail is deterministic.  Alternatively pass ``decider``, a
+        ``(step, enabled) -> actor`` callback (used by the explorer).
+
+        Returns the completed trace.  If any actor raised, the first
+        failure (in spawn order) is re-raised here after all actors
+        finish.
+        """
+
+        script = [self._parse_step(s) for s in (schedule or [])]
+        step = 0
+        while True:
+            enabled = self.wait_quiescent()
+            if not enabled:
+                break
+            if decider is not None:
+                choice = decider(step, enabled)
+            elif step < len(script):
+                wanted, wanted_point = script[step]
+                if wanted not in enabled:
+                    raise ScheduleError(
+                        f"schedule step {step} wants actor {wanted!r} but "
+                        f"enabled={enabled}; trace so far: {self.trace}"
+                    )
+                if wanted_point is not None:
+                    at = self.blocked_point(wanted)
+                    if at != wanted_point:
+                        raise ScheduleError(
+                            f"schedule step {step} wants {wanted}@{wanted_point} "
+                            f"but the actor is blocked at {at!r}; "
+                            f"trace so far: {self.trace}"
+                        )
+                choice = wanted
+            else:
+                choice = enabled[0]
+            self.release(choice)
+            step += 1
+            if step > max_steps:
+                raise ScheduleError(f"schedule exceeded {max_steps} steps")
+        self._join_finished_actors()
+        for name in self._spawn_order:
+            error = self._actors[name].error
+            if error is not None:
+                raise error
+        return list(self.trace)
+
+    @staticmethod
+    def _parse_step(step: str | tuple[str, str]) -> tuple[str, str | None]:
+        if isinstance(step, tuple):
+            actor, point = step
+            return actor, point
+        if "@" in step:
+            actor, _, point = step.partition("@")
+            return actor, point
+        return step, None
+
+    def _join_finished_actors(self) -> None:
+        # state == DONE is set before the thread/future unwinds; give
+        # each a short join so results/errors are fully published.
+        for name in self._spawn_order:
+            actor = self._actors[name]
+            if actor.thread is not None:
+                actor.thread.join(timeout=5.0)
+            elif actor.future is not None:
+                try:
+                    actor.future.result(timeout=5.0)
+                except BaseException:  # noqa: BLE001 - kept in actor.error
+                    pass
+
+    def result(self, name: str) -> Any:
+        """Return actor ``name``'s return value (raises its error if it failed)."""
+
+        actor = self._actors[name]
+        if actor.error is not None:
+            raise actor.error
+        return actor.result
+
+    def errors(self) -> dict[str, BaseException]:
+        """Map of actor name to the exception it raised, for failed actors."""
+
+        return {
+            name: self._actors[name].error
+            for name in self._spawn_order
+            if self._actors[name].error is not None
+        }
+
+    # ------------------------------------------------------------------
+    # installation
+
+    def drain(self) -> None:
+        """Release every blocked actor unconditionally and stop gating."""
+
+        with self._cond:
+            self._draining = True
+            wakes = []
+            for actor in self._actors.values():
+                actor.permit = True
+                if actor.wake is not None:
+                    wakes.append(actor.wake)
+                    actor.wake = None
+            self._cond.notify_all()
+        for wake in wakes:
+            wake()
+
+    @contextmanager
+    def install(self) -> Iterator["ScheduleController"]:
+        """Install as the process-global controller for the ``with`` body.
+
+        On exit the controller drains (so no actor is left blocked) and
+        uninstalls, even if the body raised.
+        """
+
+        install_controller(self)
+        try:
+            yield self
+        finally:
+            self.drain()
+            self._join_finished_actors()
+            uninstall_controller(self)
+
+
+_controller_lock = threading.Lock()
+_controller: ScheduleController | None = None
+
+
+def install_controller(controller: ScheduleController) -> None:
+    """Install the process-global controller (exactly one at a time)."""
+
+    global _controller
+    with _controller_lock:
+        if _controller is not None:
+            raise ScheduleError("a ScheduleController is already installed")
+        _controller = controller
+
+
+def uninstall_controller(controller: ScheduleController | None = None) -> None:
+    """Remove the installed controller (no-op if none / a different one)."""
+
+    global _controller
+    with _controller_lock:
+        if controller is None or _controller is controller:
+            _controller = None
+
+
+def installed_controller() -> ScheduleController | None:
+    """The currently installed controller, if any."""
+
+    return _controller
+
+
+def sync_point(name: str) -> None:
+    """Hook for thread code: block here when a controller scripts this thread.
+
+    With no controller installed (production, and every test that does
+    not opt in) this is a single global load plus an ``is None`` test.
+    """
+
+    controller = _controller
+    if controller is None and not _sync_debug:
+        return
+    if _sync_debug:
+        _debug_log(name, getattr(_current_actor, "name", None))
+    if controller is not None:
+        controller.reached(name)
+
+
+async def sync_point_async(name: str) -> None:
+    """Awaitable twin of :func:`sync_point` for coroutine code."""
+
+    controller = _controller
+    if controller is None and not _sync_debug:
+        return
+    if _sync_debug:
+        task = asyncio.current_task()
+        actor = controller._task_names.get(task) if controller else None
+        _debug_log(name, actor)
+    if controller is not None:
+        await controller.reached_async(name)
+
+
+# ----------------------------------------------------------------------
+# named barriers and positive-concurrency assertion
+
+_barrier_lock = threading.Lock()
+_barriers: dict[str, threading.Barrier] = {}
+
+
+def get_barrier(name: str, parties: int) -> threading.Barrier:
+    """Return the named barrier, creating it on first use.
+
+    Every caller must agree on ``parties``; a mismatch raises
+    ``ValueError`` (it means two tests are silently sharing a barrier).
+    """
+
+    if parties < 1:
+        raise ValueError("parties must be >= 1")
+    with _barrier_lock:
+        barrier = _barriers.get(name)
+        if barrier is None:
+            barrier = threading.Barrier(parties)
+            _barriers[name] = barrier
+        elif barrier.parties != parties:
+            raise ValueError(
+                f"barrier {name!r} already exists with parties="
+                f"{barrier.parties}, requested {parties}"
+            )
+        return barrier
+
+
+def clear_barriers() -> None:
+    """Drop all named barriers (aborting any waiters) — call between tests."""
+
+    with _barrier_lock:
+        for barrier in _barriers.values():
+            barrier.abort()
+        _barriers.clear()
+
+
+def assert_parallel_execution(
+    fns: Sequence[Callable[[], Any]],
+    *,
+    timeout: float = 30.0,
+    message: str | None = None,
+) -> list[tuple[float, float]]:
+    """Run each callable on its own thread and assert their spans overlap.
+
+    Asserts there is an instant at which *all* callables were running
+    simultaneously (``max(starts) < min(ends)``) — use a shared barrier
+    inside the callables to make the overlap robust rather than lucky
+    (a barrier also converts accidental serialisation into a visible
+    ``BrokenBarrierError``).  A callable may return a ``(start, end)``
+    pair of monotonic timestamps to narrow the assertion to its actual
+    work window (e.g. just its critical section) instead of the whole
+    thread lifetime.  Returns the spans; callable exceptions re-raise.
+    """
+
+    if len(fns) < 2:
+        raise ValueError("need at least two callables to assert parallelism")
+    spans: list[tuple[float, float] | None] = [None] * len(fns)
+    errors: list[BaseException] = []
+
+    def runner(index: int, fn: Callable[[], Any]) -> None:
+        start = time.monotonic()
+        window: tuple[float, float] | None = None
+        try:
+            returned = fn()
+            if (
+                isinstance(returned, tuple)
+                and len(returned) == 2
+                and all(isinstance(t, (int, float)) for t in returned)
+            ):
+                window = (float(returned[0]), float(returned[1]))
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            errors.append(exc)
+        finally:
+            spans[index] = window if window is not None else (start, time.monotonic())
+
+    threads = [
+        threading.Thread(target=runner, args=(i, fn), daemon=True)
+        for i, fn in enumerate(fns)
+    ]
+    for thread in threads:
+        thread.start()
+    deadline = time.monotonic() + timeout
+    for thread in threads:
+        thread.join(max(deadline - time.monotonic(), 0.0))
+    if any(thread.is_alive() for thread in threads):
+        raise AssertionError(f"parallel callables did not finish within {timeout}s")
+    if errors:
+        raise errors[0]
+    done = [span for span in spans if span is not None]
+    overlap_start = max(start for start, _ in done)
+    overlap_end = min(end for _, end in done)
+    if overlap_start >= overlap_end:
+        raise AssertionError(
+            message
+            or f"callables never ran concurrently: spans={done!r}"
+        )
+    return done  # type: ignore[return-value]
+
+
+@contextmanager
+def background_event_loop() -> Iterator[asyncio.AbstractEventLoop]:
+    """An asyncio loop running on a daemon thread, stopped on exit.
+
+    The loop's thread is never registered with a controller, so
+    coroutine actors scheduled onto it via ``spawn_task`` can block at
+    sync points without freezing the loop itself.
+    """
+
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, name="sync-test-loop", daemon=True)
+    thread.start()
+    started.wait(5.0)
+    try:
+        yield loop
+    finally:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(5.0)
+        if not loop.is_running():
+            loop.close()

@@ -1,0 +1,29 @@
+"""Shared guards for the deterministic concurrency suite.
+
+Every test here may install a process-global :class:`ScheduleController`;
+the autouse fixture guarantees no controller or named barrier leaks from
+one test into the next (a leaked controller would silently gate sync
+points in unrelated tests).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing import (
+    clear_barriers,
+    installed_controller,
+    set_sync_debug,
+    uninstall_controller,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_sync_state():
+    assert installed_controller() is None, "controller leaked from a previous test"
+    yield
+    # Failing tests must not poison the rest of the suite.
+    uninstall_controller()
+    clear_barriers()
+    set_sync_debug(False)
+    assert installed_controller() is None

@@ -1,0 +1,408 @@
+"""Unit tests for the schedule-control substrate itself.
+
+The centrepiece is the mutation test: a deliberately racy read-modify-
+write counter whose lost update the explorer must find and report as a
+replayable schedule — the end-to-end proof that the harness can catch
+real interleaving bugs, not just replay happy paths.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.testing import (
+    DeadlockError,
+    KNOWN_SYNC_POINTS,
+    ScheduleController,
+    ScheduleError,
+    Scenario,
+    assert_parallel_execution,
+    background_event_loop,
+    clear_barriers,
+    explore,
+    format_schedule,
+    get_barrier,
+    install_controller,
+    installed_controller,
+    replay,
+    set_sync_debug,
+    sync_point,
+    sync_point_async,
+    uninstall_controller,
+)
+
+FAST = dict(stall_timeout=0.05, deadlock_timeout=5.0)
+
+
+class TestSyncPointNoController:
+    def test_noop_without_controller(self):
+        assert installed_controller() is None
+        sync_point("anything")  # must simply return
+
+    def test_unregistered_thread_passes_through(self):
+        controller = ScheduleController(**FAST)
+        with controller.install():
+            sync_point("pool.dispatch.pick")  # main thread is not an actor
+
+    def test_known_sync_points_are_threaded_through_the_engine(self):
+        from pathlib import Path
+
+        engine = Path(__file__).resolve().parents[2] / "src" / "repro" / "engine"
+        source = "\n".join(p.read_text() for p in engine.rglob("*.py"))
+        for name in KNOWN_SYNC_POINTS:
+            assert f'"{name}"' in source, f"sync point {name} missing from engine"
+
+
+class TestScheduleController:
+    def test_scripted_order_is_obeyed(self):
+        controller = ScheduleController(**FAST)
+        out = []
+
+        def actor(tag):
+            sync_point("work")
+            out.append(tag)
+            sync_point("again")
+            out.append(tag.lower())
+
+        with controller.install():
+            controller.spawn("a", actor, "A")
+            controller.spawn("b", actor, "B")
+            trace = controller.drive(
+                ["b", "a", "b@work", "a@work", "b@again", "a@again"]
+            )
+        assert out == ["B", "A", "b", "a"]
+        assert trace == [
+            ("b", "start"), ("a", "start"),
+            ("b", "work"), ("a", "work"),
+            ("b", "again"), ("a", "again"),
+        ]
+
+    def test_reversed_script_reverses_effects(self):
+        controller = ScheduleController(**FAST)
+        out = []
+
+        def actor(tag):
+            sync_point("work")
+            out.append(tag)
+
+        with controller.install():
+            controller.spawn("a", actor, "A")
+            controller.spawn("b", actor, "B")
+            controller.drive(["a", "b", "a", "b"])
+        assert out == ["A", "B"]
+
+    def test_divergent_script_raises_with_trace(self):
+        controller = ScheduleController(**FAST)
+
+        def actor():
+            sync_point("work")
+
+        with controller.install():
+            controller.spawn("a", actor)
+            with pytest.raises(ScheduleError, match="enabled"):
+                controller.drive(["nope"])
+
+    def test_wrong_point_annotation_raises(self):
+        controller = ScheduleController(**FAST)
+
+        def actor():
+            sync_point("work")
+
+        with controller.install():
+            controller.spawn("a", actor)
+            with pytest.raises(ScheduleError, match="blocked at"):
+                controller.drive(["a@elsewhere"])
+
+    def test_actor_exception_is_reraised_by_drive(self):
+        controller = ScheduleController(**FAST)
+
+        def boom():
+            sync_point("work")
+            raise ValueError("kaput")
+
+        with controller.install():
+            controller.spawn("a", boom)
+            with pytest.raises(ValueError, match="kaput"):
+                controller.drive()
+        assert isinstance(controller.errors()["a"], ValueError)
+
+    def test_stalled_actor_is_not_schedulable_and_wakes_on_its_own(self):
+        # Actor b sleeps on a real lock held by a: only a is enabled
+        # while it holds the lock; b finishes once a releases it.
+        controller = ScheduleController(**FAST)
+        lock = threading.Lock()
+        order = []
+
+        def holder():
+            with lock:
+                sync_point("inside")
+                order.append("a")
+
+        def waiter():
+            sync_point("about-to-wait")
+            with lock:
+                order.append("b")
+
+        with controller.install():
+            controller.spawn("a", holder)
+            controller.spawn("b", waiter)
+            controller.drive(["a", "b", "b@about-to-wait", "a@inside"])
+        assert order == ["a", "b"]
+
+    def test_deadlock_detection_on_stalled_only_state(self):
+        controller = ScheduleController(stall_timeout=0.05, deadlock_timeout=0.4)
+        lock = threading.Lock()
+        lock.acquire()
+        try:
+            def stuck():
+                sync_point("go")
+                with lock:
+                    pass
+
+            with controller.install():
+                controller.spawn("a", stuck)
+                controller.release(controller.wait_quiescent()[0])  # a@start
+                controller.release(controller.wait_quiescent()[0])  # a@go
+                with pytest.raises(DeadlockError, match="stalled"):
+                    controller.wait_quiescent()
+        finally:
+            lock.release()
+
+    def test_double_install_rejected(self):
+        first = ScheduleController(**FAST)
+        second = ScheduleController(**FAST)
+        install_controller(first)
+        try:
+            with pytest.raises(ScheduleError, match="already installed"):
+                install_controller(second)
+        finally:
+            uninstall_controller(first)
+
+    def test_async_actors_follow_script(self):
+        out = []
+
+        async def actor(tag):
+            await sync_point_async("work")
+            out.append(tag)
+            await sync_point_async("again")
+            out.append(tag.lower())
+
+        controller = ScheduleController(**FAST)
+        with background_event_loop() as loop:
+            with controller.install():
+                controller.spawn_task("x", actor("X"), loop)
+                controller.spawn_task("y", actor("Y"), loop)
+                controller.drive(["y", "x", "y@work", "x@work", "x@again", "y@again"])
+        assert out == ["Y", "X", "x", "y"]
+
+    def test_mixed_thread_and_task_actors(self):
+        out = []
+
+        def threaded():
+            sync_point("t")
+            out.append("thread")
+
+        async def tasked():
+            await sync_point_async("c")
+            out.append("coro")
+
+        controller = ScheduleController(**FAST)
+        with background_event_loop() as loop:
+            with controller.install():
+                controller.spawn("t", threaded)
+                controller.spawn_task("c", tasked(), loop)
+                controller.drive(["c", "t", "c@c", "t@t"])
+        assert out == ["coro", "thread"]
+
+
+class TestBarriers:
+    def test_named_barrier_is_shared(self):
+        b1 = get_barrier("gate", 2)
+        b2 = get_barrier("gate", 2)
+        assert b1 is b2
+
+    def test_parties_mismatch_rejected(self):
+        get_barrier("gate", 2)
+        with pytest.raises(ValueError, match="parties"):
+            get_barrier("gate", 3)
+
+    def test_clear_barriers_aborts_waiters(self):
+        barrier = get_barrier("gate", 2)
+        errors = []
+
+        def waiter():
+            try:
+                barrier.wait(timeout=5.0)
+            except threading.BrokenBarrierError:
+                errors.append("broken")
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        clear_barriers()
+        thread.join(5.0)
+        assert errors == ["broken"]
+        assert get_barrier("gate", 3).parties == 3  # registry was emptied
+
+
+class TestAssertParallelExecution:
+    def test_overlapping_callables_pass(self):
+        barrier = get_barrier("overlap", 2)
+        spans = assert_parallel_execution(
+            [lambda: barrier.wait(5.0), lambda: barrier.wait(5.0)]
+        )
+        assert len(spans) == 2
+
+    def test_serialised_work_windows_fail(self):
+        # Callables report their actual work windows; a mutex around the
+        # work serialises them, so there is no common instant.
+        lock = threading.Lock()
+
+        def critical():
+            with lock:
+                start = time.monotonic()
+                time.sleep(0.05)
+                return (start, time.monotonic())
+
+        with pytest.raises(AssertionError, match="concurrently"):
+            assert_parallel_execution([critical, critical])
+
+    def test_reported_windows_pass_when_overlapping(self):
+        barrier = get_barrier("windows", 2)
+
+        def work():
+            barrier.wait(5.0)
+            start = time.monotonic()
+            time.sleep(0.05)
+            return (start, time.monotonic())
+
+        spans = assert_parallel_execution([work, work])
+        assert max(s for s, _ in spans) < min(e for _, e in spans)
+
+    def test_errors_propagate(self):
+        def boom():
+            raise RuntimeError("inside")
+
+        with pytest.raises(RuntimeError, match="inside"):
+            assert_parallel_execution([boom, lambda: None])
+
+    def test_needs_two_callables(self):
+        with pytest.raises(ValueError):
+            assert_parallel_execution([lambda: None])
+
+
+class TestSyncDebug:
+    def test_arrivals_logged_when_enabled(self, capsys):
+        set_sync_debug(True)
+        sync_point("debug.check")
+        set_sync_debug(False)
+        sync_point("debug.silent")
+        err = capsys.readouterr().err
+        assert "point=debug.check" in err
+        assert "debug.silent" not in err
+
+
+# ---------------------------------------------------------------------------
+# The mutation test: a seeded race the explorer must catch.
+# ---------------------------------------------------------------------------
+
+
+class RacyCounter(Scenario):
+    """Two writers do an unsynchronised read-modify-write: a seeded race."""
+
+    name = "racy-counter"
+    stall_timeout = 0.05
+    deadlock_timeout = 5.0
+
+    def start(self, controller):
+        state = {"n": 0}
+
+        def increment():
+            sync_point("read")
+            value = state["n"]
+            sync_point("write")
+            state["n"] = value + 1
+
+        controller.spawn("w1", increment)
+        controller.spawn("w2", increment)
+        return state
+
+    def check(self, state):
+        assert state["n"] == 2, f"lost update: n={state['n']}"
+
+
+class LockedCounter(RacyCounter):
+    """Same shape with a lock: the fixed version must pass every schedule."""
+
+    name = "locked-counter"
+
+    def start(self, controller):
+        state = {"n": 0}
+        lock = threading.Lock()
+
+        def increment():
+            sync_point("enter")
+            with lock:
+                sync_point("read")
+                value = state["n"]
+                sync_point("write")
+                state["n"] = value + 1
+
+        controller.spawn("w1", increment)
+        controller.spawn("w2", increment)
+        return state
+
+
+class TestExplorer:
+    def test_seeded_race_is_caught_with_replayable_schedule(self):
+        result = explore(RacyCounter(), max_depth=8, max_schedules=100)
+        assert result.failures, "explorer missed the seeded lost-update race"
+        failure = result.failures[0]
+        # The report is a replayable script...
+        description = failure.describe(result.scenario)
+        assert "replay" in description
+        assert format_schedule(failure.trace) in description
+        # ...and replaying those exact choices reproduces the bug.
+        with pytest.raises(AssertionError, match="lost update"):
+            replay(RacyCounter(), failure.choices)
+        # raise_on_failure surfaces the same report.
+        with pytest.raises(AssertionError, match="racy-counter"):
+            result.raise_on_failure()
+
+    def test_fixed_version_passes_every_schedule(self):
+        result = explore(LockedCounter(), max_depth=10, max_schedules=200)
+        assert result.schedules > 1, "exploration found no alternative schedules"
+        assert not result.failures, result.failures[0].describe(result.scenario)
+        assert not result.truncated
+        assert result.divergences == 0
+        result.raise_on_failure()  # no-op when clean
+
+    def test_exploration_is_exhaustive_for_a_known_model(self):
+        # Two actors x two sync points each, fully independent: the
+        # schedule space is the interleavings of two sequences of three
+        # steps (start, p1, p2): C(6, 3) = 20.
+        class Independent(Scenario):
+            name = "independent"
+            stall_timeout = 0.05
+            deadlock_timeout = 5.0
+
+            def start(self, controller):
+                def actor():
+                    sync_point("p1")
+                    sync_point("p2")
+
+                controller.spawn("a", actor)
+                controller.spawn("b", actor)
+                return None
+
+        result = explore(Independent(), max_depth=6, max_schedules=100)
+        assert result.schedules == 20
+        assert not result.failures and not result.truncated
+
+    def test_replay_of_passing_schedule_returns_trace(self):
+        trace = replay(LockedCounter(), ["w1", "w1", "w1", "w1", "w2"])
+        assert trace[0] == ("w1", "start")
+        assert ("w2", "write") in trace

@@ -1,0 +1,196 @@
+"""Exhaustive interleaving checks for SCM_RIGHTS dispatch + crash restart.
+
+``WorkerPool._dispatch`` is driven directly against stub worker handles
+(real AF_UNIX socketpairs, no forking), so each explored schedule runs
+in microseconds.  A supervisor actor re-enacts the crash-then-restart
+timeline of the health loop: the worker's end of the fd channel closes
+(what the OS does when a worker dies), the liveness flag flips (what
+``Process.is_alive`` eventually reports), and the slot is re-spawned
+under the pool lock — interleaved arbitrarily with a dispatch in flight.
+
+The invariant on every schedule: the accepted connection is handed off
+**exactly once** — delivered to exactly one live worker channel, or
+delivered-then-lost only when the crash demonstrably closed the channel
+*after* the hand-off (the documented contract: a worker crash can only
+drop the connections that worker already held).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from types import SimpleNamespace
+
+from repro.engine.pool import WorkerPool
+from repro.testing import Scenario, ScheduleController, explore, sync_point
+
+
+class _StubProcess:
+    def __init__(self):
+        self.alive = True
+
+    def is_alive(self):
+        return self.alive
+
+
+def _handle(index):
+    parent, child = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+    return SimpleNamespace(
+        index=index, process=_StubProcess(), fd_channel=parent, child=child
+    )
+
+
+def _drain_fds(sock):
+    """Count (and close) fds delivered to one worker channel end."""
+
+    delivered = 0
+    try:
+        sock.setblocking(False)
+        while True:
+            msg, fds, _flags, _addr = socket.recv_fds(sock, 16, 8)
+            if not msg and not fds:
+                break
+            delivered += len(fds)
+            for fd in fds:
+                os.close(fd)
+    except (BlockingIOError, OSError):
+        pass
+    return delivered
+
+
+class CrashRestartDispatch(Scenario):
+    """One dispatch races a worker-0 crash and its supervised restart."""
+
+    name = "scm-rights-crash-restart"
+    stall_timeout = 0.05
+    deadlock_timeout = 10.0
+
+    def start(self, controller):
+        handles = [_handle(0), _handle(1)]
+        pool = SimpleNamespace(_lock=threading.Lock(), _handles=handles, _rr=0)
+        conn_server, conn_client = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+        context = {
+            "pool": pool,
+            "old0": handles[0],
+            "w1": handles[1],
+            "new0": None,
+            "conn": (conn_server, conn_client),
+            "result": None,
+            "lost_to_crash": 0,
+        }
+
+        def dispatcher():
+            context["result"] = WorkerPool._dispatch(pool, conn_server)
+
+        def supervisor():
+            old = context["old0"]
+            # The worker process dies: the OS closes its end of the fd
+            # channel.  Anything already queued there is lost with it —
+            # count it first, exactly once, as delivered-then-lost.
+            context["lost_to_crash"] = _drain_fds(old.child)
+            old.child.close()
+            sync_point("test.crash.flagged")
+            # is_alive() catches up with reality.
+            old.process.alive = False
+            sync_point("test.respawn")
+            # The health loop forks a replacement in the same slot, under
+            # the pool lock, after closing the supervisor-side channel.
+            with pool._lock:
+                if pool._handles[0] is old:
+                    old.fd_channel.close()
+                    replacement = _handle(0)
+                    context["new0"] = replacement
+                    pool._handles[0] = replacement
+
+        controller.spawn("dispatch", dispatcher)
+        controller.spawn("supervisor", supervisor)
+        return context
+
+    def check(self, context):
+        assert context["result"] is True, "dispatch found no live worker"
+        live = 0
+        for handle in (context["new0"], context["w1"]):
+            if handle is not None:
+                live += _drain_fds(handle.child)
+        total = live + context["lost_to_crash"]
+        assert total == 1, (
+            f"connection handed off {total} times "
+            f"(live={live}, lost_to_crash={context['lost_to_crash']})"
+        )
+
+    def cleanup(self, context):
+        for handle in (context["old0"], context["w1"], context["new0"]):
+            if handle is None:
+                continue
+            for sock in (handle.fd_channel, handle.child):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        for sock in context["conn"]:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class TestCrashRestartExploration:
+    def test_every_interleaving_hands_off_exactly_once(self):
+        result = explore(CrashRestartDispatch(), max_depth=10, max_schedules=300)
+        assert not result.failures, result.failures[0].describe(result.scenario)
+        assert result.schedules >= 10, result.summary()
+        assert not result.truncated, result.summary()
+        assert result.divergences == 0, result.summary()
+
+    def test_crash_between_liveness_check_and_send_fails_over(self):
+        # The classic TOCTOU window: dispatch has already passed
+        # ``is_alive`` for worker 0 (blocked at pool.dispatch.pick), then
+        # the channel dies under it.  The send must fail over to worker 1.
+        scenario = CrashRestartDispatch()
+        controller = ScheduleController(stall_timeout=0.05, deadlock_timeout=10.0)
+        with controller.install():
+            context = scenario.start(controller)
+            try:
+                # Releasing an actor *from* a point runs its next segment:
+                # dispatch paused at pick has passed is_alive(w0) but not
+                # yet sent; the supervisor's start segment then closes the
+                # channel under it before the send goes out.
+                controller.drive([
+                    "dispatch",                            # start -> paused at pick
+                    "supervisor",                          # worker dies: channel closes
+                    "dispatch@pool.dispatch.pick",         # send now -> EPIPE on w0
+                    "dispatch@pool.dispatch.send_failed",  # move on to w1
+                    "dispatch@pool.dispatch.pick",         # w1 is alive
+                    "dispatch@pool.dispatch.sent",         # delivered
+                    "supervisor@test.crash.flagged",
+                    "supervisor@test.respawn",
+                ])
+                points = [point for _, point in controller.trace]
+                assert "pool.dispatch.send_failed" in points
+                assert context["result"] is True
+                assert _drain_fds(context["w1"].child) == 1
+            finally:
+                scenario.cleanup(context)
+
+    def test_restart_completes_before_dispatch_lands_on_new_worker(self):
+        # Crash + restart fully first: dispatch must deliver to the
+        # replacement worker in slot 0 (round-robin still starts there).
+        scenario = CrashRestartDispatch()
+        controller = ScheduleController(stall_timeout=0.05, deadlock_timeout=10.0)
+        with controller.install():
+            context = scenario.start(controller)
+            try:
+                controller.drive([
+                    "supervisor",
+                    "supervisor@test.crash.flagged",
+                    "supervisor@test.respawn",
+                    "dispatch",
+                    "dispatch@pool.dispatch.pick",
+                    "dispatch@pool.dispatch.sent",
+                ])
+                assert context["result"] is True
+                assert _drain_fds(context["new0"].child) == 1
+                assert _drain_fds(context["w1"].child) == 0
+            finally:
+                scenario.cleanup(context)

@@ -1,0 +1,212 @@
+"""Ordered-response writer and micro-batch queue under scripted schedules.
+
+``_OrderedResponseWriter`` is the state machine that turns concurrent
+request execution back into strict FIFO responses per connection.  The
+exploration grants ``write``/``finish`` to concurrent slot owners in
+every order within the depth bound and asserts the output line order
+never changes.  The mutation test re-seeds the race the slot logic
+exists to prevent (a writer that skips the slot wait) and requires the
+explorer to catch it with a replayable schedule.
+
+The micro-batch tests script ``submit`` arrivals against the live
+batcher task: enqueues released back-to-back coalesce into one batch;
+with a zero window, serialised arrivals form one batch each.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.engine.server import PredictionServer, _OrderedResponseWriter
+from repro.testing import (
+    Scenario,
+    ScheduleController,
+    background_event_loop,
+    explore,
+    replay,
+    sync_point_async,
+)
+
+
+class _StubStream:
+    """Duck-typed asyncio.StreamWriter: records written NDJSON lines."""
+
+    def __init__(self):
+        self.lines = []
+
+    def write(self, data: bytes) -> None:
+        self.lines.append(json.loads(data))
+
+    async def drain(self) -> None:
+        return None
+
+
+class OrderedWriterScenario(Scenario):
+    """N concurrent responders; output must be FIFO on every schedule."""
+
+    name = "ordered-writer"
+    stall_timeout = 0.05
+    deadlock_timeout = 10.0
+    actors = 2
+
+    def make_writer(self, stream):
+        return _OrderedResponseWriter(stream)
+
+    def start(self, controller):
+        stream = _StubStream()
+        context = {"stream": stream, "loop_cm": background_event_loop()}
+        loop = context["loop_cm"].__enter__()
+        writer = self.make_writer(stream)
+
+        async def respond(seq: int) -> None:
+            await writer.write(seq, {"id": seq})
+            await writer.finish(seq)
+
+        for seq in range(self.actors):
+            controller.spawn_task(f"r{seq}", respond(seq), loop)
+        return context
+
+    def check(self, context):
+        ids = [line["id"] for line in context["stream"].lines]
+        assert ids == list(range(self.actors)), f"responses reordered: {ids}"
+
+    def cleanup(self, context):
+        context["loop_cm"].__exit__(None, None, None)
+
+
+class RacyWriter(_OrderedResponseWriter):
+    """The seeded mutation: ``write`` skips the slot wait entirely."""
+
+    async def write(self, seq, document):
+        await sync_point_async("server.writer.write")
+        async with self._cond:
+            self._writer.write(json.dumps(document).encode() + b"\n")
+            await self._writer.drain()
+
+
+class RacyWriterScenario(OrderedWriterScenario):
+    name = "ordered-writer-mutated"
+
+    def make_writer(self, stream):
+        return RacyWriter(stream)
+
+
+class TestOrderedWriterExploration:
+    def test_every_interleaving_preserves_fifo_output(self):
+        result = explore(OrderedWriterScenario(), max_depth=8, max_schedules=120)
+        assert not result.failures, result.failures[0].describe(result.scenario)
+        assert result.schedules >= 4, result.summary()
+        assert not result.truncated, result.summary()
+        assert result.divergences == 0, result.summary()
+
+    def test_mutated_writer_is_caught_with_replayable_schedule(self):
+        result = explore(RacyWriterScenario(), max_depth=8, max_schedules=120)
+        assert result.failures, "explorer missed the seeded writer race"
+        failure = result.failures[0]
+        with pytest.raises(AssertionError, match="reordered"):
+            replay(RacyWriterScenario(), failure.choices)
+
+    def test_three_slots_granted_in_reverse_still_emit_in_order(self):
+        scenario = OrderedWriterScenario()
+        scenario.actors = 3
+        controller = ScheduleController(stall_timeout=0.05, deadlock_timeout=10.0)
+        with controller.install():
+            context = scenario.start(controller)
+            try:
+                # Grant the writes in reverse slot order: r2 and r1 enter
+                # the condition first and sleep on their slots; r0 unblocks
+                # the chain.  Output must still be 0, 1, 2.
+                controller.drive([
+                    "r2", "r2@server.writer.write",
+                    "r1", "r1@server.writer.write",
+                    "r0", "r0@server.writer.write",
+                ])
+                scenario.check(context)
+            finally:
+                scenario.cleanup(context)
+
+
+def _stub_prediction(target_cores):
+    """Minimal baseline-prediction shape accepted by ``result_payload``."""
+
+    return SimpleNamespace(
+        workload="stub",
+        machine="testbench",
+        measured=SimpleNamespace(cores=[1, 2, 4]),
+        target_cores=target_cores,
+        predicted_peak_cores=lambda: target_cores,
+        prediction_cores=[target_cores],
+        predicted_times=[1.0],
+        extrapolation=SimpleNamespace(kernel_name="amdahl"),
+    )
+
+
+class _RecordingService:
+    """predict_batch stub: records batch compositions, echoes markers."""
+
+    def __init__(self):
+        self.batches = []
+
+    def predict_batch(self, requests):
+        self.batches.append([request.target_cores for request in requests])
+        return [_stub_prediction(request.target_cores) for request in requests]
+
+
+@pytest.fixture(scope="module")
+def payloads(intruder_opteron_sweep):
+    measured = intruder_opteron_sweep.restrict_to(12)
+    return [
+        {"id": f"c{target}", "target_cores": target, "measurements": measured.to_dict()}
+        for target in (24, 36)
+    ]
+
+
+class TestMicroBatchSchedules:
+    def _submit_scenario(self, payloads, *, window_ms, schedule):
+        service = _RecordingService()
+        server = PredictionServer(
+            service=service, max_batch=8, batch_window_ms=window_ms, queue_limit=16
+        )
+        controller = ScheduleController(stall_timeout=0.1, deadlock_timeout=15.0)
+        results = {}
+
+        async def client(name, payload):
+            results[name] = await server.submit(payload)
+
+        with background_event_loop() as loop:
+            try:
+                with controller.install():
+                    controller.spawn_task("a", client("a", payloads[0]), loop)
+                    controller.spawn_task("b", client("b", payloads[1]), loop)
+                    controller.drive(schedule)
+            finally:
+                asyncio.run_coroutine_threadsafe(server.stop(), loop).result(timeout=10)
+        for name, target in (("a", 24), ("b", 36)):
+            response = results[name]
+            assert response["ok"] is True, response
+            assert response["result"]["target_cores"] == target
+        return service
+
+    def test_back_to_back_enqueues_coalesce_into_one_batch(self, payloads):
+        # Both enqueues released before the 300 ms window closes: the
+        # batcher must see one batch of two.
+        service = self._submit_scenario(
+            payloads,
+            window_ms=300.0,
+            schedule=["a", "b", "a@server.submit.enqueue", "b@server.submit.enqueue"],
+        )
+        assert service.batches == [[24, 36]]
+
+    def test_zero_window_serial_arrivals_form_singleton_batches(self, payloads):
+        # b's enqueue is withheld until a's response resolved: with no
+        # coalescing window each arrival is its own batch.
+        service = self._submit_scenario(
+            payloads,
+            window_ms=0.0,
+            schedule=["a", "a@server.submit.enqueue", "b", "b@server.submit.enqueue"],
+        )
+        assert service.batches == [[24], [36]]

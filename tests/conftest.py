@@ -21,6 +21,13 @@ if str(_SRC) not in sys.path:
 from repro import EstimaConfig, EstimaPredictor, MachineSimulator, get_machine, get_workload  # noqa: E402
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running stress tests (deselect with '-m \"not slow\"')",
+    )
+
+
 #: Core counts used by the shared Opteron sweeps: dense where measurements
 #: happen (1..12) and coarser beyond, to keep the suite fast.
 OPTERON_CORE_COUNTS = [1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48]

@@ -236,8 +236,14 @@ class TestStreamedCampaignDeterminism:
 
 
 class TestWorkerPool:
+    @pytest.mark.slow
     def test_concurrency_stress_no_drops_dups_or_reorders(self, tmp_path, measured):
-        """Satellite: mixed predict/campaign clients against 2 workers."""
+        """Stress variant: mixed predict/campaign clients against 2 workers.
+
+        Probabilistic by nature (real forked workers, OS scheduling); the
+        deterministic scripted-schedule variant of the same per-connection
+        FIFO contract is ``TestScriptedClientSchedule`` below.
+        """
         config = EstimaConfig(use_fit_cache=True, cache_dir=str(tmp_path / "tier2"))
         pool = WorkerPool(
             config, workers=2, tcp="127.0.0.1:0", batch_window_ms=2.0
@@ -320,6 +326,47 @@ class TestWorkerPool:
             )
         finally:
             pool.stop()
+
+    def test_scripted_client_interleaving_keeps_per_connection_fifo(self):
+        """Deterministic variant of the concurrency stress: the schedule
+        controller fixes the exact global order of the clients' sends, so
+        the per-connection FIFO contract is checked under one scripted
+        interleaving instead of whatever the OS happened to produce."""
+        from repro.testing import ScheduleController, sync_point
+
+        results: dict[str, list[dict]] = {}
+
+        def client(tcp, name: str) -> None:
+            sock = socket.create_connection(tcp.address, timeout=30)
+            try:
+                stream = sock.makefile("rwb")
+                for i in range(2):
+                    # Cheap error-path request: parse fails, id survives.
+                    line = json.dumps({"id": f"{name}-{i}", "target_cores": 5})
+                    stream.write(line.encode() + b"\n")
+                    stream.flush()
+                    sync_point("test.client.sent")
+                sock.shutdown(socket.SHUT_WR)
+                results[name] = [json.loads(line) for line in stream]
+            finally:
+                sock.close()
+
+        with _TcpServer(PredictionServer(EstimaConfig())) as tcp:
+            controller = ScheduleController(stall_timeout=0.1, deadlock_timeout=15.0)
+            with controller.install():
+                for name in ("a", "b", "c"):
+                    controller.spawn(name, client, tcp, name)
+                # First requests land c, a, b; second requests b, c, a —
+                # a fixed cross-connection order no stress run guarantees.
+                controller.drive([
+                    "c", "a", "b",
+                    "b@test.client.sent",
+                    "c@test.client.sent",
+                    "a@test.client.sent",
+                ])
+        for name in ("a", "b", "c"):
+            assert [r["id"] for r in results[name]] == [f"{name}-0", f"{name}-1"]
+            assert not any(r["ok"] for r in results[name])
 
     def test_worker_restart_on_crash(self):
         pool = WorkerPool(
